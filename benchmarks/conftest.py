@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures.
+
+The benchmark suite regenerates every table and figure of the paper's
+evaluation at laptop scale.  ``REPRO_SCALE`` (default 0.5 for benchmarks)
+and ``REPRO_REPS`` (default 1; the paper uses 3) control effort.
+
+The Table III/IV/V grid — every algorithm on every dataset — is executed
+once per session and shared by the table benchmarks; rendered tables are
+also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+# Benchmarks default to half scale so the full suite finishes in minutes;
+# the unit-test suite is unaffected (it passes explicit scales).
+os.environ.setdefault("REPRO_SCALE", "0.5")
+
+from repro.bench import Harness, mean_outcomes  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table past pytest's capture and save it to disk."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n", file=sys.__stdout__, flush=True)
+
+
+@pytest.fixture(scope="session")
+def harness() -> Harness:
+    return Harness()
+
+
+@pytest.fixture(scope="session")
+def suite_outcomes(harness):
+    """The full Table III/IV/V measurement grid (run once per session)."""
+    outcomes = harness.run_suite()
+    return mean_outcomes(outcomes)

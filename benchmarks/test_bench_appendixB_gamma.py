@@ -1,0 +1,67 @@
+"""E-AB — Theorem 1 and Appendix B: contraction-factor bounds.
+
+Measures the per-round surviving fraction gamma:
+
+* exactly, by enumerating all orderings of small graphs (directed 3-cycle
+  attains the tight Appendix-B bound 2/3);
+* by Monte-Carlo on a large random graph for each randomisation method,
+  asserting Theorem 1's gamma <= 3/4 (finite fields / encryption) and
+  Appendix B's gamma <= 2/3 (full randomisation via random reals).
+"""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.core.contraction_theory import (
+    directed_three_cycle_gamma,
+    exact_expected_gamma,
+    monte_carlo_gamma,
+)
+from repro.graphs import gnm_random_graph
+
+from .conftest import emit
+
+METHODS_34 = ["finite-fields", "prime-field", "encryption"]
+
+
+def test_gamma_bounds(benchmark):
+    edges = gnm_random_graph(2000, 3500, np.random.default_rng(0))
+
+    def run_measurements():
+        results = {}
+        for method in METHODS_34 + ["random-reals"]:
+            results[method] = monte_carlo_gamma(edges, method, rounds=12,
+                                                seed=3)
+        return results
+
+    results = benchmark.pedantic(run_measurements, rounds=1, iterations=1)
+    for method in METHODS_34:
+        mean, stderr = results[method]
+        assert mean <= 0.75 + 3 * stderr + 0.02, (method, mean)
+    mean_reals, stderr_reals = results["random-reals"]
+    assert mean_reals <= 2 / 3 + 3 * stderr_reals + 0.02
+
+    # Exact enumerations.
+    three_cycle = directed_three_cycle_gamma()
+    assert three_cycle == Fraction(2, 3)
+    path4 = exact_expected_gamma(4, [(0, 1), (1, 2), (2, 3)])
+    assert path4 <= Fraction(2, 3)
+
+    lines = [
+        "THEOREM 1 / APPENDIX B - CONTRACTION FACTOR gamma",
+        "",
+        "  exact (all orderings):",
+        f"    directed 3-cycle : {three_cycle} (tight Appendix-B bound 2/3)",
+        f"    undirected path-4: {path4} = {float(path4):.4f}",
+        "",
+        f"  Monte-Carlo, G(2000, 3500), 12 rounds "
+        f"(bounds: 3/4 = 0.75, 2/3 = 0.667):",
+    ]
+    for method, (mean, stderr) in results.items():
+        bound = "2/3" if method == "random-reals" else "3/4"
+        lines.append(
+            f"    {method:14s}: gamma = {mean:.4f} +- {stderr:.4f}  "
+            f"(bound {bound})"
+        )
+    emit("appendixB_gamma", "\n".join(lines))

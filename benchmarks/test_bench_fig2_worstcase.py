@@ -1,0 +1,43 @@
+"""E-F2 — Figure 2 / Section V-B: the sequential-path worst case.
+
+Without randomisation, min-contraction on a sequentially numbered path
+removes one vertex per round (Figure 2a): n - 1 rounds.  Randomising the
+vertex order per round (the algorithm's core idea) brings this to
+O(log n).  This bench demonstrates both on the same input.
+"""
+
+import math
+
+from repro import connected_components
+from repro.core import RandomisedContraction
+from repro.graphs import path_graph
+
+from .conftest import emit
+
+N = 512
+
+
+def test_figure2_worst_case_vs_randomised(benchmark):
+    edges = path_graph(N)
+
+    def run_both():
+        identity = connected_components(
+            edges, RandomisedContraction(method="identity"), seed=1
+        )
+        randomised = connected_components(edges, "rc", seed=1)
+        return identity, randomised
+
+    identity, randomised = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert identity.run.rounds == N - 1
+    assert randomised.run.rounds <= 3 * math.log2(N)
+    emit("figure2", "\n".join([
+        "FIGURE 2 / SECTION V-B - WORST-CASE PATH CONTRACTION",
+        "",
+        f"  sequentially numbered path, n = {N}",
+        f"  identity (no randomisation): {identity.run.rounds} rounds "
+        f"(= n - 1, Figure 2a)",
+        f"  randomised contraction     : {randomised.run.rounds} rounds "
+        f"(log2 n = {math.log2(N):.0f})",
+        f"  identity runtime           : {identity.run.elapsed_seconds:.2f}s",
+        f"  randomised runtime         : {randomised.run.elapsed_seconds:.2f}s",
+    ]))

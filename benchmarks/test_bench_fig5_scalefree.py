@@ -1,0 +1,34 @@
+"""E-F5 — Figure 5: scale-free component-size distributions.
+
+The paper plots component counts against component sizes on log-log axes
+for the Andromeda and Bitcoin-addresses graphs and observes a roughly
+linear (scale-free) relationship, with Andromeda's black background as the
+single giant outlier.  This bench fits the log-log line on both substitute
+datasets, asserts the shape, and renders the text version of the figure.
+"""
+
+from repro.analysis import fit_scale_free, render_figure5
+
+from .conftest import emit
+
+
+def test_figure5_scale_freedom(benchmark, harness):
+    andromeda = harness.dataset("andromeda")
+    bitcoin = harness.dataset("bitcoin_addresses")
+
+    fits = benchmark.pedantic(
+        lambda: {name: fit_scale_free(edges)
+                 for name, edges in [("andromeda", andromeda),
+                                     ("bitcoin_addresses", bitcoin)]},
+        rounds=1, iterations=1,
+    )
+    for name, fit in fits.items():
+        assert fit.slope < -0.4, (name, fit.slope)
+        assert fit.n_components > 100, name
+    # The Andromeda background: one giant outlier component.
+    assert fits["andromeda"].giant_component_size > \
+        andromeda.n_vertices * 0.3
+    emit("figure5", render_figure5({
+        "andromeda": andromeda,
+        "bitcoin_addresses": bitcoin,
+    }))

@@ -1,0 +1,22 @@
+"""E-T3 (figure form) — Figure 6: the runtime bar chart.
+
+Figure 6 is the visual form of Table III; this bench renders the text bar
+chart from the shared measurement grid and sanity-checks that every
+dataset appears with either a bar or a "did not finish" mark per
+algorithm.
+"""
+
+from repro.bench.tables import render_figure6
+from repro.graphs import TABLE_DATASETS
+
+from .conftest import emit
+
+
+def test_figure6_chart(benchmark, suite_outcomes):
+    text = benchmark.pedantic(
+        lambda: render_figure6(suite_outcomes), rounds=1, iterations=1
+    )
+    for dataset in TABLE_DATASETS:
+        assert dataset in text
+    assert text.count("|") >= len(TABLE_DATASETS) * 4
+    emit("figure6", text)

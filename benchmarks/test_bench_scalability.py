@@ -1,0 +1,42 @@
+"""E-SC — Section VII-B scalability: the Candels series.
+
+"The sequence of Candels datasets, roughly doubling in size from one to
+the next, demonstrates the scalability of the Randomised Contraction
+algorithm.  Its runtime is essentially linear in the size of the graph."
+
+This bench runs RC over the five-series and fits time ~ size^alpha,
+asserting quasi-linearity (alpha close to 1).
+"""
+
+from repro.analysis import quasi_linearity_exponent
+
+from .conftest import emit
+
+SERIES = ["candels10", "candels20", "candels40", "candels80", "candels160"]
+
+
+def test_candels_scaling_is_quasi_linear(benchmark, harness):
+    def run_series():
+        measurements = []
+        for name in SERIES:
+            outcome = harness.run_once(name, "rc", seed_offset=3)
+            assert outcome.ok
+            measurements.append((name, harness.dataset(name).n_edges,
+                                 outcome.seconds, outcome.rounds))
+        return measurements
+
+    measurements = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    sizes = [m[1] for m in measurements]
+    times = [m[2] for m in measurements]
+    alpha = quasi_linearity_exponent(sizes, times)
+    # Quasi-linear: well below quadratic, near 1.  Laptop-scale runs carry
+    # fixed per-query overhead, so sublinear exponents also pass.
+    assert alpha < 1.45, alpha
+
+    lines = ["SECTION VII-B - CANDELS SCALABILITY (Randomised Contraction)",
+             "", f"fitted runtime ~ |E|^{alpha:.2f}  (paper: essentially linear)",
+             ""]
+    for name, n_edges, seconds, rounds in measurements:
+        lines.append(f"  {name:12s} |E|={n_edges:>9,d}  {seconds:7.2f}s  "
+                     f"rounds={rounds}")
+    emit("scalability", "\n".join(lines))

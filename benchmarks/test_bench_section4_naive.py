@@ -1,0 +1,57 @@
+"""E-G2 — Section IV: why the naive approaches fail.
+
+Two demonstrations from the paper's Section IV, measured:
+
+* the BFS (MADlib-style) strategy takes n - 1 rounds on a sequentially
+  numbered path — "its worst-case runtime makes it unsuitable for Big
+  Data";
+* iterated squaring G -> G^2 -> G^4 converges in O(log diameter) rounds
+  but materialises the complete graph per component — "a quadratic blow-up
+  in data size".
+"""
+
+from repro import connected_components
+from repro.core import BreadthFirstSearchCC
+
+from .conftest import emit
+
+N = 192
+
+
+def test_section4_naive_approaches(benchmark):
+    from repro.graphs import path_graph
+
+    edges = path_graph(N)
+
+    def run_both():
+        bfs = connected_components(
+            edges, BreadthFirstSearchCC(max_rounds=2 * N), seed=0
+        )
+        squaring = connected_components(edges, "squaring", seed=0)
+        rc = connected_components(edges, "rc", seed=0)
+        return bfs, squaring, rc
+
+    bfs, squaring, rc = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    # BFS: linear rounds (n-1 changes + 1 convergence check).
+    assert N - 1 <= bfs.run.rounds <= N
+    # Squaring: logarithmic rounds but quadratic peak edges.
+    counts = squaring.run.extra["edge_counts"]
+    assert squaring.run.rounds <= 10
+    assert max(counts) == N * (N - 1)
+    # RC: logarithmic rounds AND linear space.
+    assert rc.run.rounds < 20
+
+    emit("section4_naive", "\n".join([
+        "SECTION IV - NAIVE APPROACHES ON THE SEQUENTIAL PATH "
+        f"(n = {N})",
+        "",
+        f"  breadth-first search : {bfs.run.rounds:4d} rounds "
+        f"({bfs.run.elapsed_seconds:6.2f}s)  - linear rounds",
+        f"  graph squaring       : {squaring.run.rounds:4d} rounds "
+        f"({squaring.run.elapsed_seconds:6.2f}s)  - peak edge table "
+        f"{max(counts):,} rows = n*(n-1) (quadratic)",
+        f"  randomised contraction: {rc.run.rounds:3d} rounds "
+        f"({rc.run.elapsed_seconds:6.2f}s)  - logarithmic rounds, "
+        "linear space",
+    ]))

@@ -1,0 +1,59 @@
+"""E-SP — Section VII-C: database vs Spark SQL, and the Cracker comparison.
+
+The paper runs Randomised Contraction on Lulli et al.'s hardest dataset
+("Streets of Italy": RC in-database 143 s vs Cracker-in-database 261 s vs
+the published Spark Cracker 1338 s), and separately measures the same RC
+SQL running ~2.3x slower on Spark SQL than in-database.
+
+This bench reproduces both comparisons on the streets substitute: RC vs
+Cracker on the MPP engine, and RC on the MPP engine vs the modelled Spark
+backend.
+"""
+
+from repro.spark import SparkSQLDatabase
+
+from .conftest import emit
+
+
+def test_streets_rc_beats_cracker_and_spark_is_slower(benchmark, harness):
+    dataset = "streets_of_italy"
+
+    def run_all():
+        rc_db = harness.run_once(dataset, "rc", seed_offset=1)
+        cr_db = harness.run_once(dataset, "cr", seed_offset=1)
+        rc_spark = harness.run_once(
+            dataset, "rc", seed_offset=1, db_factory=_spark_factory
+        )
+        return rc_db, cr_db, rc_spark
+
+    rc_db, cr_db, rc_spark = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert rc_db.ok and cr_db.ok and rc_spark.ok
+    assert rc_db.n_components == cr_db.n_components == rc_spark.n_components
+
+    # Paper shape 1: RC in-database beats the Cracker port (143 s vs 261 s).
+    assert rc_db.seconds < cr_db.seconds
+
+    # Paper shape 2: the same SQL on the Spark model is slower (x2.3 in the
+    # paper; the exact factor depends on scale, so assert direction and
+    # report the measured ratio).
+    ratio = rc_spark.seconds / rc_db.seconds
+    assert ratio > 1.0, ratio
+
+    emit("spark_vs_db", "\n".join([
+        "SECTION VII-C - EXECUTION ENVIRONMENTS (streets-of-italy substitute)",
+        "",
+        f"  RC  in-database : {rc_db.seconds:7.2f}s   (paper: 143 s)",
+        f"  CR  in-database : {cr_db.seconds:7.2f}s   (paper: 261 s)",
+        f"  RC  on Spark SQL: {rc_spark.seconds:7.2f}s",
+        "",
+        f"  Spark/in-db ratio for identical SQL: {ratio:.2f}x "
+        "(paper: ~2.3x)",
+        f"  extra data motion on Spark: "
+        f"{rc_spark.motion_bytes / max(rc_db.motion_bytes, 1):.1f}x",
+    ]))
+
+
+def _spark_factory(n_segments=4, space_budget_bytes=None):
+    return SparkSQLDatabase(
+        n_segments=n_segments, space_budget_bytes=space_budget_bytes
+    )

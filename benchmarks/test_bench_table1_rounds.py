@@ -1,0 +1,40 @@
+"""E-T1 — Table I: O(log |V|) SQL queries, verified empirically.
+
+Table I states Randomised Contraction's expected O(log |V|) step bound.
+This bench measures RC round counts on doubling input sizes and checks that
+rounds grow like log2 |V| (bounded rounds-per-log ratio), then renders
+Table I with the measurements attached.
+"""
+
+import math
+
+from repro import connected_components
+from repro.bench.tables import render_table1
+from repro.graphs import path_graph, rmat_graph
+
+from .conftest import emit
+
+
+def measure_rounds():
+    import numpy as np
+
+    rows = []
+    for n in (1_000, 8_000, 64_000):
+        result = connected_components(path_graph(n), "rc", seed=11)
+        rows.append((f"path[{n}]", n, result.run.rounds))
+    rng = np.random.default_rng(5)
+    rmat = rmat_graph(14, 120_000, rng)
+    result = connected_components(rmat, "rc", seed=11)
+    rows.append(("rmat", rmat.n_vertices, result.run.rounds))
+    return rows
+
+
+def test_table1_rounds_are_logarithmic(benchmark):
+    rows = benchmark.pedantic(measure_rounds, rounds=1, iterations=1)
+    for name, n_vertices, rounds in rows:
+        ratio = rounds / math.log2(max(n_vertices, 2))
+        assert ratio < 2.5, (name, ratio)
+    # Doubling-size series adds only O(1) rounds per doubling.
+    path_rounds = [r for name, _, r in rows if name.startswith("path")]
+    assert path_rounds[-1] - path_rounds[0] <= 8
+    emit("table1", render_table1(rows))

@@ -1,0 +1,44 @@
+"""E-T2 — Table II: the dataset bench.
+
+Builds every dataset of the paper's Table II at the reproduction scale and
+reports |V|, |E| and the component count next to the paper's numbers.  The
+qualitative roles are asserted: bitcoin_addresses has a huge number of
+small clusters, bitcoin_full few markets, friendster exactly one component,
+path100m one, pathunion10 ten.
+"""
+
+from repro.bench.tables import render_table2
+from repro.core import count_components
+from repro.graphs import TABLE_DATASETS
+
+from .conftest import emit
+
+
+def build_rows(harness):
+    rows = []
+    for name in TABLE_DATASETS:
+        edges = harness.dataset(name)
+        rows.append(
+            (name, edges.n_vertices, edges.n_edges, count_components(edges))
+        )
+    return rows
+
+
+def test_table2_dataset_roles(benchmark, harness):
+    rows = benchmark.pedantic(build_rows, args=(harness,), rounds=1,
+                              iterations=1)
+    by_name = {name: (v, e, c) for name, v, e, c in rows}
+    assert by_name["friendster"][2] == 1
+    assert by_name["path100m"][2] == 1
+    assert by_name["pathunion10"][2] == 10
+    # Address clustering: components are a large fraction of vertices.
+    v, _, c = by_name["bitcoin_addresses"]
+    assert c > 0.02 * v
+    # Markets: few components relative to vertices.
+    v, _, c = by_name["bitcoin_full"]
+    assert c < 0.02 * v
+    # Candels series roughly doubles in edges.
+    for small, big in (("candels10", "candels20"), ("candels20", "candels40"),
+                       ("candels40", "candels80"), ("candels80", "candels160")):
+        assert by_name[big][1] > 1.6 * by_name[small][1]
+    emit("table2", render_table2(rows))

@@ -1,0 +1,42 @@
+"""E-T4 — Table IV: maximum space used.
+
+The paper's shape: Two-Phase uses the least space everywhere (<= ~2x the
+input); Randomised Contraction stays within its proven bound (the paper
+observes <= 2.6x Two-Phase's footprint and ~4-5x the input); Hash-to-Min
+and Cracker are the hungriest and blow up on the path datasets.
+"""
+
+from repro.bench.tables import algo_code, render_table4
+
+from .conftest import emit
+
+
+def test_table4_space_shapes(benchmark, harness, suite_outcomes):
+    benchmark.pedantic(
+        lambda: harness.run_once("pathunion10", "tp"), rounds=1, iterations=1
+    )
+    cells = {(o.dataset, algo_code(o.algorithm)): o for o in suite_outcomes}
+    datasets = sorted({o.dataset for o in suite_outcomes})
+
+    tp_least = 0
+    comparisons = 0
+    for dataset in datasets:
+        tp = cells[(dataset, "tp")]
+        if not tp.ok:
+            continue
+        for code in ("rc", "hm", "cr"):
+            other = cells[(dataset, code)]
+            if other.ok:
+                comparisons += 1
+                if tp.peak_bytes <= other.peak_bytes:
+                    tp_least += 1
+    # "Here the Two-Phase algorithm uses the least space on all datasets."
+    assert tp_least >= 0.9 * comparisons, (tp_least, comparisons)
+
+    # RC's deterministic-space discipline: peak within ~7x input always.
+    for dataset in datasets:
+        rc = cells[(dataset, "rc")]
+        assert rc.peak_bytes <= 7.5 * rc.input_bytes, (
+            dataset, rc.peak_bytes / rc.input_bytes
+        )
+    emit("table4", render_table4(suite_outcomes))

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Bitcoin address clustering — the paper's motivating application.
+
+Section VII-A: "it is a basic step for analysing the cash flows in Bitcoin
+to de-anonymise these addresses if possible.  We used a well-known address
+clustering heuristic for this: if a transaction uses inputs with multiple
+addresses then these addresses are assumed to be controlled by the same
+entity."
+
+This example generates a synthetic blockchain, builds the address-
+transaction input graph, and computes its connected components in-database
+with Randomised Contraction.  Each component is an address cluster — a set
+of addresses assumed to be controlled by one entity.
+
+Run:  python examples/bitcoin_address_clustering.py [n_transactions]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import connected_components
+from repro.analysis import component_sizes, fit_scale_free
+from repro.graphs import generate_blockchain
+
+
+def main() -> None:
+    n_transactions = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    rng = np.random.default_rng(20190409)
+
+    print(f"generating a synthetic blockchain with {n_transactions:,} "
+          "transactions ...")
+    chain = generate_blockchain(n_transactions, rng)
+    graph = chain.address_graph()
+    print(f"address graph: {graph.n_vertices:,} vertices "
+          f"({chain.n_addresses:,} addresses + transactions), "
+          f"{graph.n_edges:,} input edges")
+
+    result = connected_components(graph, algorithm="rc", seed=1)
+    print(f"\naddress clusters found: {result.n_components:,} "
+          f"in {result.run.rounds} contraction rounds "
+          f"({result.run.elapsed_seconds:.2f}s, "
+          f"{result.run.sql_queries} SQL queries)")
+
+    sizes = component_sizes(graph)
+    print("\nlargest clusters (addresses + transactions per entity):")
+    for rank, size in enumerate(sizes[:8].tolist(), start=1):
+        print(f"  #{rank}: {size:,} vertices")
+
+    fit = fit_scale_free(graph)
+    print(f"\ncluster sizes are roughly scale-free (Figure 5): "
+          f"log-log slope {fit.slope:.2f}, R^2 {fit.r_squared:.2f}")
+
+    # The full transaction graph: components are isolated "markets".
+    full = chain.full_graph()
+    markets = connected_components(full, algorithm="rc", seed=1)
+    print(f"\nfull transaction graph: {full.n_vertices:,} vertices, "
+          f"{full.n_edges:,} edges -> {markets.n_components:,} markets "
+          "that never interacted")
+
+
+if __name__ == "__main__":
+    main()

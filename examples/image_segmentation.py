@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Image segmentation by connected components (the Andromeda experiment).
+
+Section VII-A: "Connected component analysis can be used as an image
+segmentation technique.  We converted a Gigapixel image of the Andromeda
+galaxy to a graph by generating an edge for every pair of horizontally or
+vertically adjacent pixels with an 8-bit RGB colour vector distance up to
+50."
+
+This example renders a synthetic star field, applies exactly that
+conversion, segments it in-database, and reports the segments — the giant
+dark background plus one segment per star — together with the scale-free
+size distribution of Figure 5.
+
+Run:  python examples/image_segmentation.py [height width]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import connected_components
+from repro.analysis import fit_scale_free, render_figure5
+from repro.graphs import image_to_graph, synthetic_starfield
+
+
+def main() -> None:
+    height = int(sys.argv[1]) if len(sys.argv) > 1 else 160
+    width = int(sys.argv[2]) if len(sys.argv) > 2 else 240
+    rng = np.random.default_rng(20150105)
+
+    print(f"rendering a {height}x{width} synthetic star field ...")
+    image = synthetic_starfield(height, width, rng)
+
+    print("converting to a pixel graph "
+          "(4-connectivity, RGB distance <= 50, randomised vertex IDs) ...")
+    graph = image_to_graph(image, threshold=50.0, rng=rng)
+    print(f"pixel graph: {graph.n_vertices:,} vertices, "
+          f"{graph.n_edges:,} edges")
+
+    result = connected_components(graph, algorithm="rc", seed=7)
+    print(f"\nsegments found: {result.n_components:,} "
+          f"in {result.run.rounds} rounds "
+          f"({result.run.elapsed_seconds:.2f}s)")
+
+    fit = fit_scale_free(graph)
+    print(f"background segment: {fit.giant_component_size:,} pixels "
+          f"(the paper's 'single outlier')")
+    print(f"star segment sizes: log-log slope {fit.slope:.2f} "
+          f"(scale-free, as in Figure 5)")
+
+    print()
+    print(render_figure5({"starfield": graph}))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so that editable installs work in fully offline environments where the
+``wheel`` package (needed by the PEP 517 editable path) is unavailable.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Analysis utilities: Figure-5 component statistics and run metrics."""
+
+from .components import (
+    ScaleFreeFit,
+    binned_histogram,
+    component_sizes,
+    fit_scale_free,
+    render_figure5,
+    size_histogram,
+)
+from .metrics import (
+    SpaceReport,
+    bytes_to_human,
+    quasi_linearity_exponent,
+    relative_stdev,
+)
+
+__all__ = [
+    "ScaleFreeFit",
+    "SpaceReport",
+    "binned_histogram",
+    "bytes_to_human",
+    "component_sizes",
+    "fit_scale_free",
+    "quasi_linearity_exponent",
+    "relative_stdev",
+    "render_figure5",
+    "size_histogram",
+]

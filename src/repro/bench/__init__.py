@@ -1,0 +1,33 @@
+"""Benchmark harness and paper-table renderers."""
+
+from .harness import DEFAULT_BUDGET_FACTOR, Harness, RunOutcome, mean_outcomes
+from .scale import bench_reps, bench_scale
+from .tables import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    render_figure6,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+__all__ = [
+    "DEFAULT_BUDGET_FACTOR",
+    "Harness",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "RunOutcome",
+    "bench_reps",
+    "bench_scale",
+    "mean_outcomes",
+    "render_figure6",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+]

@@ -1,0 +1,198 @@
+"""The experiment harness behind every table and figure reproduction.
+
+Runs (dataset, algorithm) pairs under the conditions of Section VII-B:
+
+* a fresh database per run, with the dataset loaded as the input table;
+* a fixed space budget standing in for the paper's fixed cluster memory —
+  algorithms that blow past it are reported as DNF ("did not finish"),
+  reproducing the dashes of Table III;
+* per-run measurement of the quantities the paper reports: wall-clock
+  seconds (Table III / Figure 6), peak live space (Table IV), total bytes
+  written (Table V), plus rounds, query counts and simulated data motion.
+
+Datasets are generated once and cached; repeated measurements reuse them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..core.base import SQLConnectedComponents
+from ..core.runner import make_algorithm
+from ..graphs.datasets import TABLE_DATASETS, build_dataset
+from ..graphs.edgelist import EdgeList
+from ..graphs.io import load_edges_into
+from ..sqlengine import Database, SpaceBudgetExceeded
+from .scale import bench_reps, bench_scale
+
+#: Default space budget as a multiple of the *largest* input in a suite —
+#: the reproduction's analogue of the paper's fixed 5 x 48 GiB cluster.
+DEFAULT_BUDGET_FACTOR = 7.0
+
+
+@dataclass
+class RunOutcome:
+    """One (dataset, algorithm, repetition) measurement."""
+
+    dataset: str
+    algorithm: str
+    status: str  # "ok" or "dnf"
+    seconds: float
+    rounds: int
+    sql_queries: int
+    input_bytes: int
+    peak_bytes: int
+    written_bytes: int
+    motion_bytes: int
+    n_components: int
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class Harness:
+    """Dataset cache + run executor for the benchmark suite."""
+
+    scale: Optional[float] = None
+    n_segments: int = 4
+    budget_factor: Optional[float] = DEFAULT_BUDGET_FACTOR
+    seed: int = 20200420
+    _datasets: dict[str, EdgeList] = field(default_factory=dict)
+
+    def dataset(self, name: str) -> EdgeList:
+        """Build (or fetch the cached) dataset at the harness scale."""
+        if name not in self._datasets:
+            scale = self.scale if self.scale is not None else bench_scale()
+            self._datasets[name] = build_dataset(name, scale)
+        return self._datasets[name]
+
+    def input_bytes(self, name: str) -> int:
+        return self.dataset(name).byte_size()
+
+    def budget_bytes(self, dataset_names: Iterable[str]) -> Optional[int]:
+        """The suite-wide space budget (None = unlimited)."""
+        if self.budget_factor is None:
+            return None
+        largest = max(self.input_bytes(name) for name in dataset_names)
+        return int(self.budget_factor * largest)
+
+    def run_once(
+        self,
+        dataset_name: str,
+        algorithm: str | SQLConnectedComponents,
+        seed_offset: int = 0,
+        space_budget_bytes: Optional[int] = None,
+        db_factory=None,
+    ) -> RunOutcome:
+        """One measured run; space-budget violations become DNF outcomes."""
+        edges = self.dataset(dataset_name)
+        algo = make_algorithm(algorithm)
+        factory = db_factory or Database
+        db = factory(
+            n_segments=self.n_segments, space_budget_bytes=space_budget_bytes
+        )
+        load_edges_into(db, "ccinput", edges)
+        input_bytes = db.table("ccinput").byte_size()
+        started = time.perf_counter()
+        try:
+            run = algo.run(db, "ccinput", seed=self.seed + seed_offset)
+        except SpaceBudgetExceeded as exc:
+            return RunOutcome(
+                dataset=dataset_name,
+                algorithm=algo.name,
+                status="dnf",
+                seconds=time.perf_counter() - started,
+                rounds=0,
+                sql_queries=0,
+                input_bytes=input_bytes,
+                peak_bytes=exc.used_bytes,
+                written_bytes=db.stats.bytes_written,
+                motion_bytes=db.stats.motion_bytes,
+                n_components=0,
+                error=str(exc),
+            )
+        vertices, labels = run.labels(db)
+        n_components = len(set(labels.tolist())) if labels.shape[0] else 0
+        return RunOutcome(
+            dataset=dataset_name,
+            algorithm=algo.name,
+            status="ok",
+            seconds=run.elapsed_seconds,
+            rounds=run.rounds,
+            sql_queries=run.sql_queries,
+            input_bytes=input_bytes,
+            peak_bytes=run.stats.peak_live_bytes,
+            written_bytes=run.stats.bytes_written,
+            motion_bytes=run.stats.motion_bytes,
+            n_components=n_components,
+            error="",
+        )
+
+    def run_suite(
+        self,
+        dataset_names: Optional[list[str]] = None,
+        algorithms: Optional[list[str]] = None,
+        reps: Optional[int] = None,
+    ) -> list[RunOutcome]:
+        """The Table III/IV/V grid: every algorithm on every dataset."""
+        dataset_names = dataset_names or list(TABLE_DATASETS)
+        algorithms = algorithms or ["rc", "hm", "tp", "cr"]
+        reps = reps if reps is not None else bench_reps()
+        budget = self.budget_bytes(dataset_names)
+        outcomes: list[RunOutcome] = []
+        for dataset_name in dataset_names:
+            for algorithm in algorithms:
+                for rep in range(reps):
+                    outcomes.append(
+                        self.run_once(
+                            dataset_name,
+                            algorithm,
+                            seed_offset=rep,
+                            space_budget_bytes=budget,
+                        )
+                    )
+        return outcomes
+
+
+def mean_outcomes(outcomes: list[RunOutcome]) -> list[RunOutcome]:
+    """Collapse repetitions to per-(dataset, algorithm) means.
+
+    A DNF in any repetition makes the aggregate DNF (the paper's dashes).
+    """
+    grouped: dict[tuple[str, str], list[RunOutcome]] = {}
+    order: list[tuple[str, str]] = []
+    for outcome in outcomes:
+        key = (outcome.dataset, outcome.algorithm)
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(outcome)
+    result = []
+    for key in order:
+        group = grouped[key]
+        if any(not o.ok for o in group):
+            failed = next(o for o in group if not o.ok)
+            result.append(failed)
+            continue
+        n = len(group)
+        result.append(
+            RunOutcome(
+                dataset=key[0],
+                algorithm=key[1],
+                status="ok",
+                seconds=sum(o.seconds for o in group) / n,
+                rounds=round(sum(o.rounds for o in group) / n),
+                sql_queries=round(sum(o.sql_queries for o in group) / n),
+                input_bytes=group[0].input_bytes,
+                peak_bytes=max(o.peak_bytes for o in group),
+                written_bytes=round(sum(o.written_bytes for o in group) / n),
+                motion_bytes=round(sum(o.motion_bytes for o in group) / n),
+                n_components=group[0].n_components,
+            )
+        )
+    return result

@@ -1,0 +1,38 @@
+"""Benchmark scaling knobs (environment-driven).
+
+The paper's experiments run at 10^8..10^9 edges on a five-node cluster; the
+reproduction defaults to ~10^5..10^6 edges in-process.  Two environment
+variables adjust the effort without touching code:
+
+``REPRO_SCALE``
+    Linear multiplier on dataset sizes (default 1.0; see
+    :mod:`repro.graphs.datasets`).
+
+``REPRO_REPS``
+    Repetitions per (dataset, algorithm) measurement.  The paper uses 3 and
+    reports mean and relative standard deviation (Section VII-B); the
+    default here is 1 to keep the full suite quick.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..graphs.datasets import default_scale
+
+
+def bench_scale() -> float:
+    """Dataset scale factor for benchmarks (REPRO_SCALE, default 1.0)."""
+    return default_scale()
+
+
+def bench_reps() -> int:
+    """Repetitions per measurement (REPRO_REPS, default 1)."""
+    raw = os.environ.get("REPRO_REPS", "1")
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_REPS must be an integer, got {raw!r}")
+    if value < 1:
+        raise ValueError("REPRO_REPS must be at least 1")
+    return value

@@ -1,0 +1,56 @@
+"""The paper's contribution and its competitors, all driven over SQL.
+
+* :class:`~repro.core.randomised_contraction.RandomisedContraction` —
+  the paper's algorithm (Figures 3, 4, Appendix A);
+* :class:`~repro.core.hash_to_min.HashToMin`,
+  :class:`~repro.core.two_phase.TwoPhase`,
+  :class:`~repro.core.cracker.Cracker` — the three leading distributed
+  baselines of Table I, ported to SQL as in Section VII;
+* :class:`~repro.core.bfs.BreadthFirstSearchCC`,
+  :class:`~repro.core.squaring.GraphSquaringCC` — the naive approaches of
+  Section IV;
+* :mod:`~repro.core.unionfind` / :mod:`~repro.core.labels` — ground truth
+  and output validation;
+* :mod:`~repro.core.contraction_theory` — the Theorem 1 / Appendix B
+  machinery (contraction-factor bounds).
+"""
+
+from .base import CCRunResult, SQLConnectedComponents
+from .bfs import BreadthFirstSearchCC
+from .cracker import Cracker
+from .hash_to_min import HashToMin
+from .labels import ValidationReport, assert_valid_labelling, validate_labelling
+from .randomised_contraction import RandomisedContraction
+from .runner import ALGORITHMS, CCResult, connected_components, make_algorithm
+from .squaring import GraphSquaringCC
+from .two_phase import TwoPhase
+from .udfs import register_udfs
+from .unionfind import (
+    UnionFind,
+    count_components,
+    ground_truth_labels,
+    unionfind_labels,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "BreadthFirstSearchCC",
+    "CCResult",
+    "CCRunResult",
+    "Cracker",
+    "GraphSquaringCC",
+    "HashToMin",
+    "RandomisedContraction",
+    "SQLConnectedComponents",
+    "TwoPhase",
+    "UnionFind",
+    "ValidationReport",
+    "assert_valid_labelling",
+    "connected_components",
+    "count_components",
+    "ground_truth_labels",
+    "make_algorithm",
+    "register_udfs",
+    "unionfind_labels",
+    "validate_labelling",
+]

@@ -1,0 +1,163 @@
+"""Shared machinery for the SQL connected-components algorithms.
+
+Every algorithm in this reproduction — Randomised Contraction and the
+ported baselines — follows the paper's execution model (Appendix A): a
+Python driver issuing SQL statements against the database, with all "heavy
+lifting" done by the queries.  This module provides the common driver
+scaffolding: temp-table namespacing, run bracketing with statistics
+snapshots, round counting, and result extraction.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..sqlengine import Database
+from ..sqlengine.stats import StatsSnapshot
+
+
+@dataclass
+class CCRunResult:
+    """Everything measured about one algorithm run.
+
+    ``stats`` holds the deltas of the engine counters over the run — the
+    quantities behind Tables III (queries/runtime), IV (peak space) and V
+    (bytes written).
+    """
+
+    algorithm: str
+    result_table: str
+    rounds: int
+    sql_queries: int
+    elapsed_seconds: float
+    stats: StatsSnapshot
+    n_labelled: int
+    extra: dict = field(default_factory=dict)
+
+    def labels(self, db: Database) -> tuple[np.ndarray, np.ndarray]:
+        """Fetch (vertices, labels) arrays from the result table."""
+        table = db.table(self.result_table)
+        names = table.column_names
+        return (
+            table.column(names[0]).values.copy(),
+            table.column(names[1]).values.copy(),
+        )
+
+
+class SQLConnectedComponents(ABC):
+    """Base class: a connected-components algorithm driven over SQL.
+
+    Subclasses implement :meth:`_execute`, issuing queries through
+    ``db.execute`` using ``self.prefix``-namespaced temporary tables, and
+    return the number of algorithm rounds.
+    """
+
+    #: Registry/reporting name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, table_prefix: str = "cc"):
+        self.prefix = table_prefix
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self,
+        db: Database,
+        edges_table: str,
+        result_table: str = "ccresult",
+        seed: Optional[int] = None,
+    ) -> CCRunResult:
+        """Run the algorithm on ``edges_table`` (columns v1, v2).
+
+        The labelling lands in ``result_table`` (columns v, r).  Temporary
+        tables are cleaned up even if the run aborts (e.g. on a space-budget
+        violation), so the database remains usable.
+        """
+        rng = random.Random(seed)
+        preserve = {edges_table.lower()}
+        self.cleanup(db, preserve=preserve)
+        db.drop_table(result_table, if_exists=True)
+        before = db.stats.snapshot()
+        db.stats.reset_peak()
+        started = time.perf_counter()
+        try:
+            rounds, extra = self._execute(db, edges_table, result_table, rng)
+        except BaseException:
+            self.cleanup(db, preserve=preserve | {result_table.lower()})
+            raise
+        elapsed = time.perf_counter() - started
+        after = db.stats.snapshot()
+        delta = after.delta(before)
+        n_labelled = db.table(result_table).n_rows
+        return CCRunResult(
+            algorithm=self.name,
+            result_table=result_table,
+            rounds=rounds,
+            sql_queries=delta.queries,
+            elapsed_seconds=elapsed,
+            stats=delta,
+            n_labelled=n_labelled,
+            extra=extra,
+        )
+
+    def cleanup(self, db: Database, preserve: set[str] | None = None) -> None:
+        """Drop temporary tables created under this prefix.
+
+        ``preserve`` names tables to keep (the input edge table, and the
+        result table when cleaning up after a failure).
+        """
+        keep = {"ccresult"} | (preserve or set())
+        for name in list(db.table_names()):
+            if name.startswith(self.prefix) and name not in keep:
+                db.drop_table(name, if_exists=True)
+
+    # -- subclass hooks --------------------------------------------------------
+
+    @abstractmethod
+    def _execute(
+        self,
+        db: Database,
+        edges_table: str,
+        result_table: str,
+        rng: random.Random,
+    ) -> tuple[int, dict]:
+        """Run the algorithm; return (rounds, extra-metrics dict)."""
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def _setup_doubled_edges(self, db: Database, edges_table: str, name: str) -> int:
+        """The paper's setup query: both directions of every edge."""
+        return db.execute(
+            f"""
+            create table {name} as
+            select v1, v2 from {edges_table}
+            union all
+            select v2, v1 from {edges_table}
+            distributed by (v1)
+            """,
+            label=f"{self.name}:setup",
+        ).rowcount
+
+    def _round_guard(self, rounds: int, n_hint: int, limit_factor: float = 12.0,
+                     hard_limit: Optional[int] = None) -> None:
+        """Abort clearly if an algorithm loops far beyond its round bound."""
+        if hard_limit is not None:
+            if rounds > hard_limit:
+                raise RuntimeError(
+                    f"{self.name} exceeded its round limit ({hard_limit})"
+                )
+            return
+        bound = limit_factor * (math.log2(max(n_hint, 2)) + 2) + 8
+        if rounds > bound:
+            raise RuntimeError(
+                f"{self.name} ran {rounds} rounds, beyond the expected "
+                f"O(log n) bound (~{bound:.0f}) — aborting a likely "
+                "non-terminating run"
+            )

@@ -1,0 +1,84 @@
+"""The "Breadth First Search" strategy of Section IV (MADlib-style).
+
+Every vertex starts with the minimum ID of its closed neighbourhood as its
+representative and repeatedly replaces it with the minimum representative
+in the closed neighbourhood until nothing changes.  This is the approach of
+the Apache MADlib connected-components implementation, and the paper's
+Section IV shows why it fails at scale: on a sequentially numbered path of
+n vertices it takes n - 1 rounds, since information travels one hop per
+round.  It is included as the naive baseline for the E-G2 experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..sqlengine import Database
+from .base import SQLConnectedComponents
+
+
+class BreadthFirstSearchCC(SQLConnectedComponents):
+    """Min-label propagation to a fixed point.
+
+    ``max_rounds`` bounds the iteration count (the worst case is the graph
+    diameter, which is |V| - 1); exceeding it raises RuntimeError so a
+    misjudged input cannot hang a benchmark run.
+    """
+
+    name = "breadth-first-search"
+
+    def __init__(self, table_prefix: str = "cc", max_rounds: Optional[int] = None):
+        super().__init__(table_prefix)
+        self.max_rounds = max_rounds
+
+    def _execute(self, db: Database, edges_table: str, result_table: str,
+                 rng: random.Random):
+        p = self.prefix
+        self._setup_doubled_edges(db, edges_table, f"{p}e")
+        db.execute(
+            f"""
+            create table {p}reps as
+            select v1 as v, least(v1, min(v2)) as rep
+            from {p}e
+            group by v1
+            distributed by (v)
+            """,
+            label=f"{self.name}:init",
+        )
+        rounds = 0
+        while True:
+            rounds += 1
+            if self.max_rounds is not None and rounds > self.max_rounds:
+                raise RuntimeError(
+                    f"{self.name} did not converge within {self.max_rounds} rounds"
+                )
+            db.execute(
+                f"""
+                create table {p}new as
+                select r.v as v, least(r.rep, coalesce(t.m, r.rep)) as rep
+                from {p}reps as r
+                left outer join (
+                    select e.v1 as v, min(rn.rep) as m
+                    from {p}e as e, {p}reps as rn
+                    where e.v2 = rn.v
+                    group by e.v1
+                ) as t on (r.v = t.v)
+                distributed by (v)
+                """,
+                label=f"{self.name}:improve",
+            )
+            changed = db.execute(
+                f"""
+                select count(*) from {p}reps as a, {p}new as b
+                where a.v = b.v and a.rep != b.rep
+                """,
+                label=f"{self.name}:converged?",
+            ).scalar()
+            db.execute(f"drop table {p}reps")
+            db.execute(f"alter table {p}new rename to {p}reps")
+            if changed == 0:
+                break
+        db.execute(f"alter table {p}reps rename to {result_table}")
+        db.execute(f"drop table {p}e")
+        return rounds, {}

@@ -1,0 +1,77 @@
+"""The graph-squaring approach of Section IV — the quadratic blow-up demo.
+
+Section IV's second naive idea: repeatedly compute G^2 (add an edge (x, z)
+whenever (x, y) and (y, z) are edges) via an SQL self-join, reaching
+radius-2^n neighbourhoods in n steps.  It converges in O(log diameter)
+rounds — but "the result is ultimately the complete graph with |V|^2
+edges", which is why the paper rejects it.  This implementation exists to
+*measure* that blow-up (experiment E-G2): it reports the edge-table size of
+every round, and under a space budget it DNFs exactly as predicted.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..sqlengine import Database
+from .base import SQLConnectedComponents
+
+
+class GraphSquaringCC(SQLConnectedComponents):
+    """Repeated squaring to the transitive closure, then min-labelling."""
+
+    name = "graph-squaring"
+
+    def __init__(self, table_prefix: str = "cc", max_rounds: int = 64):
+        super().__init__(table_prefix)
+        self.max_rounds = max_rounds
+
+    def _execute(self, db: Database, edges_table: str, result_table: str,
+                 rng: random.Random):
+        p = self.prefix
+        self._setup_doubled_edges(db, edges_table, f"{p}e")
+        db.execute(
+            f"create table {p}d as select distinct v1, v2 from {p}e "
+            f"distributed by (v1)",
+            label=f"{self.name}:dedup",
+        )
+        db.execute(f"drop table {p}e")
+        db.execute(f"alter table {p}d rename to {p}e")
+        edge_counts = [db.table(f"{p}e").n_rows]
+        rounds = 0
+        while True:
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise RuntimeError(f"{self.name} exceeded {self.max_rounds} rounds")
+            n_edges = db.execute(
+                f"""
+                create table {p}sq as
+                select distinct v1, v2 from (
+                    select v1, v2 from {p}e
+                    union all
+                    select a.v1 as v1, b.v2 as v2
+                    from {p}e as a, {p}e as b
+                    where a.v2 = b.v1 and a.v1 != b.v2
+                ) as q
+                distributed by (v1)
+                """,
+                label=f"{self.name}:square",
+            ).rowcount
+            previous = db.table(f"{p}e").n_rows
+            db.execute(f"drop table {p}e")
+            db.execute(f"alter table {p}sq rename to {p}e")
+            edge_counts.append(n_edges)
+            if n_edges == previous:
+                break
+        db.execute(
+            f"""
+            create table {result_table} as
+            select v1 as v, least(v1, min(v2)) as rep
+            from {p}e
+            group by v1
+            distributed by (v)
+            """,
+            label=f"{self.name}:labels",
+        )
+        db.execute(f"drop table {p}e")
+        return rounds, {"edge_counts": edge_counts}

@@ -1,0 +1,76 @@
+"""User-defined SQL functions backing the randomisation methods.
+
+The paper loads a C function ``axplusb`` into HAWQ (Appendix A, Figure 7)
+to evaluate GF(2^64) affine maps inside queries.  This module registers the
+equivalent (numpy-vectorised) functions with our engine:
+
+* ``axplusb(A, x, B)``  — GF(2^64) affine map, the paper's UDF;
+* ``axbmodp(A, x, B, p)`` — the GF(p) "SQL-only" alternative;
+* ``blowfish(key, x)``  — the encryption method's pseudo-random bijection.
+
+Constant arguments arrive once per query as Python scalars, so per-constant
+preparation (the GF(2^64) byte tables, the Blowfish key schedule) is cached
+across calls exactly like a C UDF would keep state per prepared statement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ff.blowfish import Blowfish
+from ..ff.gf2_64 import Gf2AffineMap, to_unsigned
+from ..ff.gfp import GfpAffineMap
+from ..sqlengine import Database
+from ..sqlengine.errors import ExecutionError
+
+#: Registered-function names, for introspection/tests.
+UDF_NAMES = ("axplusb", "axbmodp", "blowfish")
+
+
+def _as_uint64(x) -> np.ndarray:
+    if np.isscalar(x) or not isinstance(x, np.ndarray):
+        x = np.array([x])
+    return np.ascontiguousarray(x).astype(np.uint64, copy=False)
+
+
+def register_udfs(db: Database) -> None:
+    """Install axplusb/axbmodp/blowfish into a database (idempotent)."""
+    gf2_cache: dict[tuple[int, int], Gf2AffineMap] = {}
+    gfp_cache: dict[tuple[int, int, int], GfpAffineMap] = {}
+    cipher_cache: dict[int, Blowfish] = {}
+
+    def axplusb(a, x, b):
+        key = (to_unsigned(int(a)), to_unsigned(int(b)))
+        if key[0] == 0:
+            raise ExecutionError("axplusb requires A != 0 (h must be a bijection)")
+        mapping = gf2_cache.get(key)
+        if mapping is None:
+            mapping = Gf2AffineMap(key[0], key[1])
+            if len(gf2_cache) > 64:
+                gf2_cache.clear()
+            gf2_cache[key] = mapping
+        return mapping.apply(_as_uint64(x)).view(np.int64)
+
+    def axbmodp(a, x, b, p):
+        key = (int(a), int(b), int(p))
+        mapping = gfp_cache.get(key)
+        if mapping is None:
+            mapping = GfpAffineMap(*key)
+            if len(gfp_cache) > 64:
+                gfp_cache.clear()
+            gfp_cache[key] = mapping
+        return mapping.apply(_as_uint64(x)).view(np.int64)
+
+    def blowfish(key, x):
+        key_int = to_unsigned(int(key))
+        cipher = cipher_cache.get(key_int)
+        if cipher is None:
+            cipher = Blowfish.from_round_key(key_int)
+            if len(cipher_cache) > 64:
+                cipher_cache.clear()
+            cipher_cache[key_int] = cipher
+        return cipher.encrypt_vector(_as_uint64(x)).view(np.int64)
+
+    db.create_function("axplusb", axplusb)
+    db.create_function("axbmodp", axbmodp)
+    db.create_function("blowfish", blowfish)

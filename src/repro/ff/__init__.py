@@ -1,0 +1,56 @@
+"""Finite fields, ciphers and randomisation methods.
+
+This package is the numeric substrate for the paper's Section V-C: GF(2^64)
+carry-less arithmetic (the C UDF ``axplusb`` of Appendix A, reimplemented in
+Python/numpy), GF(p) modular arithmetic, the Blowfish cipher with pi-derived
+boxes, and the :class:`~repro.ff.permutation.RandomisationMethod` hierarchy
+that Randomised Contraction draws per-round bijections from.
+"""
+
+from .blowfish import Blowfish
+from .gf2_64 import (
+    IRREDUCIBLE_POLY,
+    Gf2AffineMap,
+    gf2_axplusb,
+    gf2_inv,
+    gf2_mul,
+    gf2_pow,
+    to_signed,
+    to_unsigned,
+)
+from .gfp import MERSENNE_31, GfpAffineMap, choose_field_prime, is_prime, next_prime
+from .permutation import (
+    EncryptionMethod,
+    FiniteFieldMethod,
+    IdentityMethod,
+    PrimeFieldMethod,
+    RandomisationMethod,
+    RandomRealsMethod,
+    get_method,
+    method_names,
+)
+
+__all__ = [
+    "Blowfish",
+    "EncryptionMethod",
+    "FiniteFieldMethod",
+    "Gf2AffineMap",
+    "GfpAffineMap",
+    "IRREDUCIBLE_POLY",
+    "IdentityMethod",
+    "MERSENNE_31",
+    "PrimeFieldMethod",
+    "RandomRealsMethod",
+    "RandomisationMethod",
+    "choose_field_prime",
+    "gf2_axplusb",
+    "gf2_inv",
+    "gf2_mul",
+    "gf2_pow",
+    "get_method",
+    "is_prime",
+    "method_names",
+    "next_prime",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,64 @@
+"""Graph substrate: edge lists, generators, and the Table II dataset bench."""
+
+from .bitcoin import (
+    SyntheticBlockchain,
+    bitcoin_addresses_graph,
+    bitcoin_full_graph,
+    generate_blockchain,
+)
+from .datasets import (
+    TABLE_DATASETS,
+    DatasetSpec,
+    build_dataset,
+    dataset_names,
+    default_scale,
+    get_dataset_spec,
+)
+from .edgelist import EdgeList
+from .generators import (
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    path_graph,
+    path_union,
+    rmat_graph,
+    star_graph,
+)
+from .image import andromeda_like_graph, image_to_graph, synthetic_starfield
+from .io import edges_from_table, load_edges_into, read_csv, write_csv
+from .social import friendster_like_graph
+from .streets import streets_like_graph
+from .video import candels_like_graph, synthetic_flight, video_to_graph
+
+__all__ = [
+    "DatasetSpec",
+    "EdgeList",
+    "SyntheticBlockchain",
+    "TABLE_DATASETS",
+    "andromeda_like_graph",
+    "bitcoin_addresses_graph",
+    "bitcoin_full_graph",
+    "build_dataset",
+    "candels_like_graph",
+    "complete_graph",
+    "cycle_graph",
+    "dataset_names",
+    "default_scale",
+    "edges_from_table",
+    "friendster_like_graph",
+    "generate_blockchain",
+    "get_dataset_spec",
+    "gnm_random_graph",
+    "image_to_graph",
+    "load_edges_into",
+    "path_graph",
+    "path_union",
+    "read_csv",
+    "rmat_graph",
+    "star_graph",
+    "streets_like_graph",
+    "synthetic_flight",
+    "synthetic_starfield",
+    "video_to_graph",
+    "write_csv",
+]

@@ -1,0 +1,195 @@
+"""The reproduction's dataset registry — Table II at laptop scale.
+
+Every dataset of the paper's test bench (Section VII-A, Table II) has a
+generator here that reproduces its *role*: the structural properties that
+make it exercise a particular algorithm behaviour.  Sizes are scaled down
+by roughly 1000x (the paper runs 10^8..10^9 edges on a 5-node cluster; we
+run 10^5..10^6 in-process) and can be scaled further with the
+``REPRO_SCALE`` environment variable or the ``scale`` argument.
+
+=================  ==========================================================
+Dataset            Role
+=================  ==========================================================
+andromeda          low-degree 2D image graph, scale-free components + giant
+                   background component (Figure 5)
+bitcoin_addresses  bipartite address-clustering graph, huge number of tiny
+                   components (Figure 5)
+bitcoin_full       bipartite transaction graph, few giant "market" components
+candels10..160     3D video graphs doubling in size (scalability series)
+friendster         dense social network, exactly one component
+rmat               R-MAT(0.57, 0.19, 0.19, 0.05) as in Kiveris et al.
+path100m           sequentially numbered path: worst case for Hash-to-Min and
+                   Cracker space usage
+pathunion10        union of doubling-length paths with interleaved IDs: worst
+                   case for Two-Phase
+streets_of_italy   |E| ~ |V| street network (Section VII-C comparison)
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from .bitcoin import bitcoin_addresses_graph, bitcoin_full_graph
+from .edgelist import EdgeList
+from .generators import path_graph, path_union, rmat_graph
+from .image import andromeda_like_graph
+from .social import friendster_like_graph
+from .streets import streets_like_graph
+from .video import candels_like_graph
+
+
+def default_scale() -> float:
+    """Scale factor from the REPRO_SCALE environment variable (default 1)."""
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_SCALE must be a number, got {raw!r}")
+    if value <= 0:
+        raise ValueError("REPRO_SCALE must be positive")
+    return value
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table II row: a named generator plus the paper's reported sizes."""
+
+    name: str
+    build: Callable[[float], EdgeList]
+    description: str
+    paper_vertices_m: float
+    paper_edges_m: float
+    paper_components: str
+
+
+def _dim(base: int, scale: float) -> int:
+    """Scale a linear dimension so areas scale linearly with ``scale``."""
+    return max(8, int(round(base * np.sqrt(scale))))
+
+
+def _count(base: int, scale: float, minimum: int = 64) -> int:
+    return max(minimum, int(round(base * scale)))
+
+
+def _andromeda(scale: float) -> EdgeList:
+    return andromeda_like_graph(_dim(300, scale), _dim(420, scale))
+
+
+def _bitcoin_addresses(scale: float) -> EdgeList:
+    return bitcoin_addresses_graph(_count(60_000, scale))
+
+
+def _bitcoin_full(scale: float) -> EdgeList:
+    return bitcoin_full_graph(_count(60_000, scale))
+
+
+def _candels(n_frames: int) -> Callable[[float], EdgeList]:
+    def build(scale: float) -> EdgeList:
+        return candels_like_graph(n_frames, _dim(36, scale), _dim(64, scale))
+
+    return build
+
+
+def _friendster(scale: float) -> EdgeList:
+    return friendster_like_graph(_count(24_000, scale))
+
+
+def _rmat(scale: float) -> EdgeList:
+    n_edges = _count(600_000, scale)
+    rmat_scale = max(8, int(np.ceil(np.log2(max(256, n_edges / 40)))))
+    return rmat_graph(rmat_scale, n_edges, np.random.default_rng(20140401))
+
+
+def _path100m(scale: float) -> EdgeList:
+    return path_graph(_count(100_000, scale))
+
+
+def _pathunion10(scale: float) -> EdgeList:
+    return path_union(10, _count(150, scale, minimum=4))
+
+
+def _streets(scale: float) -> EdgeList:
+    return streets_like_graph(_dim(140, scale), _dim(140, scale))
+
+
+_REGISTRY: dict[str, DatasetSpec] = {}
+
+
+def _register(spec: DatasetSpec) -> None:
+    _REGISTRY[spec.name] = spec
+
+
+_register(DatasetSpec(
+    "andromeda", _andromeda,
+    "gigapixel galaxy image as a 4-connectivity pixel graph",
+    1459, 2287, "62,166 k"))
+_register(DatasetSpec(
+    "bitcoin_addresses", _bitcoin_addresses,
+    "multi-input address clustering graph of the Bitcoin blockchain",
+    878, 830, "216,917 k"))
+_register(DatasetSpec(
+    "bitcoin_full", _bitcoin_full,
+    "full bipartite transaction graph of the Bitcoin blockchain",
+    1476, 2079, "37 k"))
+for _frames, _v, _e, _c in (
+    (10, 83, 238, "39 k"), (20, 166, 483, "48 k"), (40, 332, 975, "91 k"),
+    (80, 663, 1958, "224 k"), (160, 1326, 3923, "617 k"),
+):
+    _register(DatasetSpec(
+        f"candels{_frames}", _candels(_frames),
+        f"{_frames} video frames as a 6-connectivity pixel graph",
+        _v, _e, _c))
+_register(DatasetSpec(
+    "friendster", _friendster,
+    "com-Friendster social network (single component)",
+    66, 1806, "1"))
+_register(DatasetSpec(
+    "rmat", _rmat,
+    "R-MAT random graph, parameters (0.57, 0.19, 0.19, 0.05)",
+    39, 2079, "5 k"))
+_register(DatasetSpec(
+    "path100m", _path100m,
+    "sequentially numbered path (worst case for HM/CR space)",
+    100, 100, "1"))
+_register(DatasetSpec(
+    "pathunion10", _pathunion10,
+    "union of 10 doubling-length paths, interleaved IDs (TP worst case)",
+    154, 154, "10"))
+_register(DatasetSpec(
+    "streets_of_italy", _streets,
+    "street network, |E| ~ |V| (Section VII-C comparison)",
+    19, 20, "n/a"))
+
+#: Dataset order as in Table II/III of the paper.
+TABLE_DATASETS = [
+    "andromeda", "bitcoin_addresses", "bitcoin_full",
+    "candels10", "candels20", "candels40", "candels80", "candels160",
+    "friendster", "rmat", "path100m", "pathunion10",
+]
+
+
+def dataset_names() -> list[str]:
+    """All registered dataset names, Table order first."""
+    extra = [n for n in _REGISTRY if n not in TABLE_DATASETS]
+    return TABLE_DATASETS + sorted(extra)
+
+
+def get_dataset_spec(name: str) -> DatasetSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(dataset_names())
+        raise KeyError(f"unknown dataset {name!r}; known: {known}")
+
+
+def build_dataset(name: str, scale: Optional[float] = None) -> EdgeList:
+    """Generate a dataset at the given (or environment-default) scale."""
+    spec = get_dataset_spec(name)
+    if scale is None:
+        scale = default_scale()
+    return spec.build(scale)

@@ -1,0 +1,160 @@
+"""Edge-list container for undirected graphs.
+
+The paper's problem statement (Section III): a graph is stored as an edge
+table of two vertex-ID columns; edges are undirected ((x, y) == (y, x));
+isolated vertices may be represented as loop edges (v, v).  This class is
+the in-memory version of that table, numpy-backed so datasets load into the
+SQL engine without copying row by row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+@dataclass
+class EdgeList:
+    """An undirected graph stored as two aligned int64 arrays."""
+
+    src: np.ndarray
+    dst: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.src = np.ascontiguousarray(self.src, dtype=np.int64)
+        self.dst = np.ascontiguousarray(self.dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape:
+            raise ValueError("src and dst must have the same length")
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, int]]) -> "EdgeList":
+        pairs = list(pairs)
+        if not pairs:
+            return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        array = np.asarray(pairs, dtype=np.int64)
+        return cls(array[:, 0], array[:, 1])
+
+    @classmethod
+    def empty(cls) -> "EdgeList":
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+    # -- basic properties -----------------------------------------------------
+
+    @property
+    def n_edges(self) -> int:
+        """Number of stored edge rows (including any loop edges)."""
+        return int(self.src.shape[0])
+
+    def vertices(self) -> np.ndarray:
+        """Sorted unique vertex IDs appearing in the edge list."""
+        if self.n_edges == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate([self.src, self.dst]))
+
+    @property
+    def n_vertices(self) -> int:
+        return int(self.vertices().shape[0])
+
+    def max_vertex_id(self) -> int:
+        if self.n_edges == 0:
+            return -1
+        return int(max(self.src.max(), self.dst.max()))
+
+    # -- transforms --------------------------------------------------------
+
+    def canonical(self) -> "EdgeList":
+        """Deduplicated undirected form: src <= dst, unique rows, loops kept
+        only for otherwise-isolated vertices."""
+        if self.n_edges == 0:
+            return EdgeList.empty()
+        lo = np.minimum(self.src, self.dst)
+        hi = np.maximum(self.src, self.dst)
+        pairs = np.stack([lo, hi], axis=1)
+        pairs = np.unique(pairs, axis=0)
+        loops = pairs[:, 0] == pairs[:, 1]
+        if loops.any():
+            proper = pairs[~loops]
+            touched = np.unique(proper.ravel()) if proper.size else np.empty(0, np.int64)
+            loop_ids = pairs[loops, 0]
+            keep_loops = ~np.isin(loop_ids, touched)
+            keep = np.concatenate([proper, np.stack(
+                [loop_ids[keep_loops], loop_ids[keep_loops]], axis=1)])
+            pairs = keep
+        return EdgeList(pairs[:, 0], pairs[:, 1])
+
+    def doubled(self) -> "EdgeList":
+        """Both directions of every edge (the paper's setup query)."""
+        return EdgeList(
+            np.concatenate([self.src, self.dst]),
+            np.concatenate([self.dst, self.src]),
+        )
+
+    def with_randomised_ids(self, rng: np.random.Generator,
+                            id_space: Optional[int] = None) -> "EdgeList":
+        """Relabel vertices with a random injection into [0, id_space).
+
+        The paper randomises vertex IDs of the image/video/R-MAT datasets so
+        that IDs carry no geometric information.  ``id_space`` defaults to
+        4x the vertex count, leaving gaps like a real ID domain.
+        """
+        vertices = self.vertices()
+        n = vertices.shape[0]
+        if n == 0:
+            return EdgeList.empty()
+        if id_space is None:
+            id_space = 4 * n
+        if id_space < n:
+            raise ValueError("id_space smaller than the number of vertices")
+        new_ids = rng.choice(id_space, size=n, replace=False).astype(np.int64)
+        return self.relabelled(vertices, new_ids)
+
+    def relabelled(self, old_ids: np.ndarray, new_ids: np.ndarray) -> "EdgeList":
+        """Apply an explicit old→new vertex-ID mapping."""
+        order = np.argsort(old_ids)
+        sorted_old = old_ids[order]
+        sorted_new = new_ids[order]
+        src_pos = np.clip(np.searchsorted(sorted_old, self.src), 0,
+                          sorted_old.shape[0] - 1)
+        dst_pos = np.clip(np.searchsorted(sorted_old, self.dst), 0,
+                          sorted_old.shape[0] - 1)
+        if (sorted_old[src_pos] != self.src).any() or \
+           (sorted_old[dst_pos] != self.dst).any():
+            raise ValueError("relabelling does not cover all vertices")
+        return EdgeList(sorted_new[src_pos], sorted_new[dst_pos])
+
+    def concat(self, other: "EdgeList") -> "EdgeList":
+        return EdgeList(
+            np.concatenate([self.src, other.src]),
+            np.concatenate([self.dst, other.dst]),
+        )
+
+    def offset_ids(self, offset: int) -> "EdgeList":
+        """Shift all vertex IDs by a constant (for disjoint unions)."""
+        return EdgeList(self.src + offset, self.dst + offset)
+
+    def degree_histogram(self) -> dict[int, int]:
+        """degree -> count over proper (non-loop) edges."""
+        proper = self.src != self.dst
+        ids = np.concatenate([self.src[proper], self.dst[proper]])
+        if ids.size == 0:
+            return {}
+        _, counts = np.unique(ids, return_counts=True)
+        values, frequencies = np.unique(counts, return_counts=True)
+        return dict(zip(values.tolist(), frequencies.tolist()))
+
+    def byte_size(self) -> int:
+        """Size of the edge table at 8 bytes per cell, as the engine charges."""
+        return 16 * self.n_edges
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeList):
+            return NotImplemented
+        a = self.canonical()
+        b = other.canonical()
+        return a.n_edges == b.n_edges and bool(
+            np.array_equal(a.src, b.src) and np.array_equal(a.dst, b.dst)
+        )

@@ -1,0 +1,72 @@
+"""Moving graphs between edge lists, database tables and CSV files."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..sqlengine import Database
+from .edgelist import EdgeList
+
+
+def load_edges_into(
+    db: Database,
+    table: str,
+    edges: EdgeList,
+    distributed_by: str = "v1",
+) -> None:
+    """Create table (v1, v2) holding the edge list, as the paper's input.
+
+    One row per undirected edge; algorithms perform their own doubling,
+    exactly like the ``create table ccgraph as ... union all ...`` setup
+    query of Appendix A.
+    """
+    db.load_table(
+        table,
+        {"v1": edges.src.copy(), "v2": edges.dst.copy()},
+        distributed_by=distributed_by,
+    )
+
+
+def edges_from_table(db: Database, table: str) -> EdgeList:
+    """Read a two-column edge table back into an EdgeList."""
+    stored = db.table(table)
+    names = stored.column_names
+    if len(names) < 2:
+        raise ValueError(f"table {table!r} needs two columns, has {names}")
+    return EdgeList(
+        stored.column(names[0]).values.copy(),
+        stored.column(names[1]).values.copy(),
+    )
+
+
+def write_csv(edges: EdgeList, path: str | Path) -> None:
+    """Write an edge list as a two-column CSV with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["v1", "v2"])
+        for a, b in zip(edges.src.tolist(), edges.dst.tolist()):
+            writer.writerow([a, b])
+
+
+def read_csv(path: str | Path) -> EdgeList:
+    """Read a two-column CSV (header optional) into an EdgeList."""
+    path = Path(path)
+    sources: list[int] = []
+    targets: list[int] = []
+    with path.open(newline="") as handle:
+        for row in csv.reader(handle):
+            if not row or len(row) < 2:
+                continue
+            try:
+                a, b = int(row[0]), int(row[1])
+            except ValueError:
+                continue  # header
+            sources.append(a)
+            targets.append(b)
+    return EdgeList(
+        np.asarray(sources, dtype=np.int64), np.asarray(targets, dtype=np.int64)
+    )

@@ -1,0 +1,5 @@
+"""Spark SQL comparison backend (Section VII-C of the paper)."""
+
+from .engine import SparkExecutor, SparkSQLDatabase
+
+__all__ = ["SparkExecutor", "SparkSQLDatabase"]

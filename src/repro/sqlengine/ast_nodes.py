@@ -1,0 +1,242 @@
+"""Abstract syntax tree for the engine's SQL dialect.
+
+All nodes are frozen dataclasses, so structural equality works — the
+planner relies on that to match ``GROUP BY`` expressions against select-list
+subexpressions (e.g. the paper's ``select v1 v, least(...) ... group by v1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: integer, float, string, boolean or NULL (value=None)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly qualified column reference ``[table.]name``."""
+
+    table: Optional[str]
+    name: str
+
+    def display(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """A scalar function call (built-in or user-defined)."""
+
+    name: str
+    args: Tuple["Expression", ...]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate call: min/max/sum/count/avg; arg None means count(*)."""
+
+    name: str
+    arg: Optional["Expression"]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Binary operator: arithmetic, comparison, AND/OR."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary operator: ``-`` or NOT."""
+
+    op: str
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    """``expr IS [NOT] NULL``."""
+
+    operand: "Expression"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class CaseWhen:
+    """``CASE WHEN cond THEN value ... [ELSE value] END``."""
+
+    branches: Tuple[Tuple["Expression", "Expression"], ...]
+    default: Optional["Expression"]
+
+
+@dataclass(frozen=True)
+class InList:
+    """``expr [NOT] IN (literal, ...)``."""
+
+    operand: "Expression"
+    items: Tuple["Expression", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` in a select list or ``count(*)``."""
+
+
+Expression = Union[
+    Literal, ColumnRef, FuncCall, Aggregate, BinaryOp, UnaryOp, IsNull, CaseWhen,
+    InList, Star,
+]
+
+# ---------------------------------------------------------------------------
+# Relations and query structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry: an expression with an optional alias."""
+
+    expr: Expression
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A base-table reference with an optional alias."""
+
+    name: str
+    alias: Optional[str]
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef:
+    """A parenthesised subquery in FROM, always aliased."""
+
+    select: "Select"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+
+FromItem = Union[TableRef, SubqueryRef]
+
+
+@dataclass(frozen=True)
+class Join:
+    """An explicit JOIN clause attached to the FROM list."""
+
+    kind: str  # "inner" or "left"
+    table: FromItem
+    condition: Expression
+
+
+@dataclass(frozen=True)
+class SelectCore:
+    """One SELECT ... FROM ... WHERE ... GROUP BY ... block."""
+
+    distinct: bool
+    items: Tuple[SelectItem, ...]
+    from_items: Tuple[FromItem, ...]
+    joins: Tuple[Join, ...] = ()
+    where: Optional[Expression] = None
+    group_by: Tuple[Expression, ...] = ()
+
+
+@dataclass(frozen=True)
+class Select:
+    """A UNION ALL chain of select cores (usually of length one)."""
+
+    cores: Tuple[SelectCore, ...]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CreateTableAs:
+    """``CREATE TABLE name AS select [DISTRIBUTED BY (col) | RANDOMLY]``."""
+
+    name: str
+    select: Select
+    distributed_by: Optional[str] = None
+    temp: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    """``CREATE TABLE name (col type, ...) [DISTRIBUTED BY (col)]``."""
+
+    name: str
+    columns: Tuple[Tuple[str, str], ...]
+    distributed_by: Optional[str] = None
+    temp: bool = False
+
+
+@dataclass(frozen=True)
+class InsertValues:
+    """``INSERT INTO name [(cols)] VALUES (..), (..)``."""
+
+    name: str
+    columns: Optional[Tuple[str, ...]]
+    rows: Tuple[Tuple[Expression, ...], ...]
+
+
+@dataclass(frozen=True)
+class InsertSelect:
+    """``INSERT INTO name [(cols)] select``."""
+
+    name: str
+    columns: Optional[Tuple[str, ...]]
+    select: Select
+
+
+@dataclass(frozen=True)
+class DropTable:
+    """``DROP TABLE [IF EXISTS] name [, name ...]``."""
+
+    names: Tuple[str, ...]
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class AlterRename:
+    """``ALTER TABLE old RENAME TO new``."""
+
+    old: str
+    new: str
+
+
+@dataclass(frozen=True)
+class TruncateTable:
+    """``TRUNCATE [TABLE] name``."""
+
+    name: str
+
+
+Statement = Union[
+    Select, CreateTableAs, CreateTable, InsertValues, InsertSelect, DropTable,
+    AlterRename, TruncateTable,
+]

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the SQL engine."""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for every error raised by the engine."""
+
+
+class ParseError(SqlError):
+    """Raised when SQL text cannot be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(SqlError):
+    """Raised for unknown/duplicate tables, columns or functions."""
+
+
+class PlanError(SqlError):
+    """Raised when a parsed query cannot be turned into an executable plan."""
+
+
+class ExecutionError(SqlError):
+    """Raised when a plan fails during execution."""
+
+
+class SpaceBudgetExceeded(SqlError):
+    """Raised when live table space exceeds the configured budget.
+
+    The benchmark harness converts this into a "did not finish" entry,
+    reproducing the DNF cells of the paper's Table III (Hash-to-Min and
+    Cracker running out of resources on the larger datasets).
+    """
+
+    def __init__(self, used_bytes: int, budget_bytes: int):
+        super().__init__(
+            f"live table space {used_bytes} bytes exceeds budget {budget_bytes} bytes"
+        )
+        self.used_bytes = used_bytes
+        self.budget_bytes = budget_bytes

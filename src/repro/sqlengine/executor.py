@@ -1,0 +1,923 @@
+"""Statement execution: planning and running parsed SQL.
+
+The executor turns parsed statements into vectorised operator pipelines:
+
+1. FROM items resolve to :class:`Frame` objects (column bundles keyed by
+   ``binding.column``);
+2. WHERE/ON conjuncts are classified into per-table filters (pushed below
+   joins), equi-join edges, and residual post-join filters;
+3. frames are joined greedily along equi-join edges with sort-merge joins —
+   a deliberately simple but real query optimiser, the component the paper
+   credits for much of the in-database performance;
+4. grouping/aggregation, DISTINCT and projection run on the joined frame.
+
+MPP accounting happens where a real MPP executor would move data: a join or
+aggregation whose input is not already distributed on its key charges a
+redistribution (or a broadcast for small inputs) to the engine statistics.
+
+Distribution is tracked as a *set* of equivalent column names: after an
+inner join on ``l.k = r.v`` the result is hash-distributed on the common key
+value, so both ``l.k`` and ``r.v`` count as its distribution columns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .ast_nodes import (
+    Aggregate,
+    AlterRename,
+    BinaryOp,
+    ColumnRef,
+    CreateTable,
+    CreateTableAs,
+    DropTable,
+    Expression,
+    FromItem,
+    InsertSelect,
+    InsertValues,
+    Join,
+    Literal,
+    Select,
+    SelectCore,
+    SelectItem,
+    Star,
+    Statement,
+    SubqueryRef,
+    TableRef,
+    TruncateTable,
+)
+from .errors import CatalogError, ExecutionError, PlanError
+from .expressions import (
+    AMBIGUOUS,
+    Environment,
+    collect_aggregates,
+    collect_column_refs,
+    contains_aggregate,
+    evaluate,
+    truth_values,
+)
+from .functions import FunctionRegistry
+from .mpp import Cluster
+from .operators import NO_MATCH, distinct_rows, group_rows, join_indices, left_join_indices
+from .stats import EngineStats
+from .table import Catalog, Table
+from .types import BOOL, FLOAT64, INT64, Column, dtype_for
+
+#: Safety valve: a join step with no usable equality predicate falls back to
+#: a cartesian product only below this many output rows.
+MAX_CARTESIAN_ROWS = 1 << 21
+
+
+@dataclass
+class Relation:
+    """An executed query result: ordered named columns.
+
+    ``names`` are unique storage keys into ``columns``; ``display_names``
+    are the user-visible column names, which SQL allows to repeat in a
+    plain SELECT (``select a.w, b.w ...``).  They differ only when a
+    projection produced duplicates.
+    """
+
+    names: list[str]
+    columns: dict[str, Column]
+    distribution: Optional[str] = None
+    display_names: Optional[list[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.display_names is None:
+            self.display_names = list(self.names)
+
+    @property
+    def n_rows(self) -> int:
+        if not self.names:
+            return 0
+        return len(self.columns[self.names[0]])
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise CatalogError(f"result has no column {name!r}")
+
+    def rows(self) -> list[tuple]:
+        """Materialise as Python row tuples (small results only)."""
+        lists = [self.columns[n].to_list() for n in self.names]
+        return list(zip(*lists)) if lists else []
+
+    def byte_size(self) -> int:
+        return sum(self.columns[n].byte_size() for n in self.names)
+
+
+@dataclass
+class Frame:
+    """An intermediate relation during FROM/JOIN processing."""
+
+    columns: dict[str, Column]  # key: "binding.column"
+    bindings: dict[str, list[str]]  # binding -> column names, in order
+    length: int
+    distribution: frozenset[str] = frozenset()  # qualified names, value-equal
+
+    def byte_size(self) -> int:
+        return sum(col.byte_size() for col in self.columns.values())
+
+    def env_columns(self) -> dict[str, Column]:
+        """Qualified plus bare name bindings (ambiguous bare names marked)."""
+        env: dict[str, Column] = dict(self.columns)
+        seen: dict[str, int] = {}
+        for binding, cols in self.bindings.items():
+            for col in cols:
+                seen[col] = seen.get(col, 0) + 1
+        for binding, cols in self.bindings.items():
+            for col in cols:
+                if seen[col] == 1:
+                    env[col] = self.columns[f"{binding}.{col}"]
+                else:
+                    env[col] = AMBIGUOUS
+        return env
+
+    def take(self, indices: np.ndarray) -> "Frame":
+        columns = {name: col.take(indices) for name, col in self.columns.items()}
+        return Frame(columns, self.bindings, int(indices.shape[0]), self.distribution)
+
+    def filter(self, keep: np.ndarray) -> "Frame":
+        columns = {name: col.filter(keep) for name, col in self.columns.items()}
+        return Frame(columns, self.bindings, int(keep.sum()), self.distribution)
+
+
+class Executor:
+    """Executes parsed statements against a catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        registry: FunctionRegistry,
+        cluster: Cluster,
+        stats: EngineStats,
+    ):
+        self.catalog = catalog
+        self.registry = registry
+        self.cluster = cluster
+        self.stats = stats
+
+    # ------------------------------------------------------------------
+    # operator kernels — overridable execution strategy
+    #
+    # The default engine runs each kernel once over whole columns (an MPP
+    # database's co-located, vectorised execution).  The Spark-SQL
+    # comparison backend (repro.spark) overrides these with partitioned,
+    # shuffle-everything equivalents.
+    # ------------------------------------------------------------------
+
+    def _join_kernel(
+        self, left_keys: list[Column], right_keys: list[Column]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return join_indices(left_keys, right_keys)
+
+    def _left_join_kernel(
+        self, left_keys: list[Column], right_keys: list[Column]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return left_join_indices(left_keys, right_keys)
+
+    def _group_kernel(
+        self, key_columns: list[Column]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return group_rows(key_columns)
+
+    def _distinct_kernel(self, columns: list[Column]) -> np.ndarray:
+        return distinct_rows(columns)
+
+    # ------------------------------------------------------------------
+    # statement dispatch
+    # ------------------------------------------------------------------
+
+    def execute(self, statement: Statement) -> tuple[Optional[Relation], int]:
+        """Run one statement; returns (result relation or None, rowcount)."""
+        if isinstance(statement, Select):
+            relation = self.run_select(statement)
+            return relation, relation.n_rows
+        if isinstance(statement, CreateTableAs):
+            return None, self._create_table_as(statement)
+        if isinstance(statement, CreateTable):
+            return None, self._create_table(statement)
+        if isinstance(statement, InsertValues):
+            return None, self._insert_values(statement)
+        if isinstance(statement, InsertSelect):
+            return None, self._insert_select(statement)
+        if isinstance(statement, DropTable):
+            return None, self._drop(statement)
+        if isinstance(statement, AlterRename):
+            self.catalog.rename(statement.old, statement.new)
+            return None, 0
+        if isinstance(statement, TruncateTable):
+            return None, self._truncate(statement)
+        raise ExecutionError(f"cannot execute {type(statement).__name__}")
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+
+    def _create_table_as(self, statement: CreateTableAs) -> int:
+        relation = self.run_select(statement.select)
+        names = relation.display_names
+        if len(set(names)) != len(names):
+            raise PlanError(
+                f"cannot create table {statement.name!r}: duplicate column names {names}"
+            )
+        distribution = statement.distributed_by
+        if distribution is not None and distribution not in names:
+            raise PlanError(
+                f"distribution column {distribution!r} is not in the select list"
+            )
+        if (
+            distribution is not None
+            and relation.n_rows > 0
+            and relation.distribution != distribution
+        ):
+            # Result rows must be re-hashed onto the new distribution.
+            self.stats.record_redistribution(relation.byte_size())
+        stored = {
+            display: relation.columns[key]
+            for display, key in zip(names, relation.names)
+        }
+        table = Table(statement.name.lower(), stored, distribution)
+        self.catalog.put(table)
+        self.stats.record_table_created(table.byte_size(), table.n_rows)
+        return table.n_rows
+
+    def _create_table(self, statement: CreateTable) -> int:
+        columns = {}
+        for name, sql_type in statement.columns:
+            columns[name] = Column(np.empty(0, dtype=dtype_for(sql_type)), sql_type)
+        table = Table(statement.name.lower(), columns, statement.distributed_by)
+        self.catalog.put(table)
+        self.stats.record_table_created(0, 0)
+        return 0
+
+    def _insert_values(self, statement: InsertValues) -> int:
+        table = self.catalog.get(statement.name)
+        target_columns = statement.columns or tuple(table.column_names)
+        if set(target_columns) != set(table.column_names):
+            raise PlanError(
+                f"INSERT must cover all columns of {statement.name!r} "
+                f"({table.column_names})"
+            )
+        env = Environment({}, 1, self.registry)
+        per_column: dict[str, list] = {name: [] for name in target_columns}
+        masks: dict[str, list] = {name: [] for name in target_columns}
+        for row in statement.rows:
+            if len(row) != len(target_columns):
+                raise PlanError("INSERT row arity mismatch")
+            for name, expr in zip(target_columns, row):
+                value = evaluate(expr, env)
+                per_column[name].append(value.to_list()[0])
+        columns = {}
+        for name in target_columns:
+            existing = table.column(name)
+            raw = per_column[name]
+            mask = np.array([v is None for v in raw], dtype=bool)
+            filler = 0 if existing.sql_type in (INT64, FLOAT64, BOOL) else ""
+            values = np.array(
+                [filler if v is None else v for v in raw],
+                dtype=dtype_for(existing.sql_type),
+            )
+            columns[name] = Column(values, existing.sql_type, mask if mask.any() else None)
+        added = table.append(columns)
+        self.stats.record_rows_appended(added, len(statement.rows))
+        return len(statement.rows)
+
+    def _insert_select(self, statement: InsertSelect) -> int:
+        table = self.catalog.get(statement.name)
+        relation = self.run_select(statement.select)
+        target_columns = list(statement.columns or table.column_names)
+        if len(relation.names) != len(target_columns):
+            raise PlanError("INSERT ... SELECT arity mismatch")
+        columns = {}
+        for target, source in zip(target_columns, relation.names):
+            columns[target] = relation.columns[source]
+        added = table.append(columns)
+        self.stats.record_rows_appended(added, relation.n_rows)
+        return relation.n_rows
+
+    def _drop(self, statement: DropTable) -> int:
+        for name in statement.names:
+            if statement.if_exists and name not in self.catalog:
+                continue
+            table = self.catalog.drop(name)
+            self.stats.record_table_dropped(table.byte_size())
+        return 0
+
+    def _truncate(self, statement: TruncateTable) -> int:
+        table = self.catalog.get(statement.name)
+        freed = table.byte_size()
+        for name, col in list(table.columns.items()):
+            empty = np.empty(0, dtype=col.values.dtype if col.sql_type != "text" else object)
+            table.columns[name] = Column(empty, col.sql_type)
+        table._byte_size = None
+        self.stats.record_table_dropped(freed)
+        return 0
+
+    # ------------------------------------------------------------------
+    # SELECT pipeline
+    # ------------------------------------------------------------------
+
+    def run_select(self, select: Select) -> Relation:
+        relations = [self._run_core(core) for core in select.cores]
+        if len(relations) == 1:
+            return relations[0]
+        first = relations[0]
+        for other in relations[1:]:
+            if len(other.names) != len(first.names):
+                raise PlanError("UNION ALL arms have different column counts")
+        columns = {}
+        for position, name in enumerate(first.names):
+            parts = [rel.columns[rel.names[position]] for rel in relations]
+            columns[name] = Column.concat(parts)
+        return Relation(list(first.names), columns, None,
+                        display_names=list(first.display_names))
+
+    def _run_core(self, core: SelectCore) -> Relation:
+        frame = self._build_from(core)
+        if core.group_by or any(contains_aggregate(i.expr) for i in core.items):
+            relation = self._aggregate(core, frame)
+        else:
+            relation = self._project(core, frame)
+        if core.distinct:
+            relation = self._distinct(relation)
+        return relation
+
+    # -- FROM/JOIN construction ------------------------------------------
+
+    def _build_from(self, core: SelectCore) -> Frame:
+        if not core.from_items:
+            # SELECT without FROM: one anonymous row.
+            return Frame({}, {}, 1, frozenset())
+        frames: dict[str, Frame] = {}
+        order: list[str] = []
+        for item in core.from_items:
+            frame = self._resolve_from_item(item)
+            binding = item.binding
+            if binding in frames:
+                raise PlanError(f"duplicate table binding {binding!r}")
+            frames[binding] = frame
+            order.append(binding)
+        inner_join_items: list[Join] = [j for j in core.joins if j.kind == "inner"]
+        left_joins: list[Join] = [j for j in core.joins if j.kind == "left"]
+        for join in inner_join_items:
+            binding = join.table.binding
+            if binding in frames:
+                raise PlanError(f"duplicate table binding {binding!r}")
+            frames[binding] = self._resolve_from_item(join.table)
+            order.append(binding)
+
+        predicates = _conjuncts(core.where)
+        for join in inner_join_items:
+            predicates.extend(_conjuncts(join.condition))
+
+        # Classify predicates.
+        filters: dict[str, list[Expression]] = {b: [] for b in order}
+        join_edges: list[tuple[str, str, ColumnRef, ColumnRef]] = []
+        residual: list[Expression] = []
+        binding_columns = {b: set(f.bindings[b]) for b, f in frames.items()}
+        for predicate in predicates:
+            touched = _bindings_of(predicate, binding_columns)
+            if len(touched) == 1 and next(iter(touched)) in filters:
+                # Single-table predicate on an inner-joined table: push it
+                # below the join.  (Predicates on LEFT JOIN bindings must
+                # stay residual — e.g. `where s.v is null` anti-joins.)
+                filters[next(iter(touched))].append(predicate)
+            elif _as_join_edge(predicate, binding_columns) is not None:
+                join_edges.append(_as_join_edge(predicate, binding_columns))
+            else:
+                residual.append(predicate)
+
+        # Push single-table filters below the joins.
+        for binding in order:
+            if filters[binding]:
+                frames[binding] = self._apply_filters(frames[binding], filters[binding])
+
+        current = frames[order[0]]
+        joined = {order[0]}
+        pending = [b for b in order[1:]]
+        unused_edges = list(join_edges)
+        while pending:
+            progressed = False
+            for binding in list(pending):
+                edges = [
+                    e for e in unused_edges
+                    if (_edge_bindings(e) == {binding} | (_edge_bindings(e) & joined))
+                    and binding in _edge_bindings(e)
+                    and len(_edge_bindings(e) & joined) == 1
+                ]
+                if not edges:
+                    continue
+                current = self._merge_inner(current, frames[binding], binding, edges)
+                joined.add(binding)
+                pending.remove(binding)
+                for e in edges:
+                    unused_edges.remove(e)
+                progressed = True
+                break
+            if not progressed:
+                binding = pending.pop(0)
+                current = self._cartesian(current, frames[binding], binding)
+                joined.add(binding)
+        # Edges between already-joined bindings become residual filters.
+        for left_ref, right_ref in [(e[2], e[3]) for e in unused_edges]:
+            residual.append(BinaryOp("=", left_ref, right_ref))
+
+        for join in left_joins:
+            current = self._merge_left(current, join)
+
+        if residual:
+            current = self._apply_filters(current, residual)
+        return current
+
+    def _resolve_from_item(self, item: FromItem) -> Frame:
+        if isinstance(item, TableRef):
+            table = self.catalog.get(item.name)
+            binding = item.binding
+            columns = {
+                f"{binding}.{name}": col for name, col in table.columns.items()
+            }
+            distribution = frozenset(
+                {f"{binding}.{table.distribution_column}"}
+                if table.distribution_column
+                else set()
+            )
+            return Frame(columns, {binding: table.column_names}, table.n_rows, distribution)
+        if isinstance(item, SubqueryRef):
+            relation = self.run_select(item.select)
+            binding = item.alias
+            columns = {f"{binding}.{n}": relation.columns[n] for n in relation.names}
+            distribution = frozenset(
+                {f"{binding}.{relation.distribution}"} if relation.distribution else set()
+            )
+            return Frame(columns, {binding: list(relation.names)}, relation.n_rows,
+                         distribution)
+        raise PlanError(f"unsupported FROM item {type(item).__name__}")
+
+    def _apply_filters(self, frame: Frame, predicates: list[Expression]) -> Frame:
+        env = Environment(frame.env_columns(), frame.length, self.registry)
+        keep = np.ones(frame.length, dtype=bool)
+        for predicate in predicates:
+            keep &= truth_values(evaluate(predicate, env))
+        if keep.all():
+            return frame
+        return frame.filter(keep)
+
+    def _qualified(self, ref: ColumnRef, frame: Frame) -> str:
+        if ref.table is not None:
+            key = f"{ref.table}.{ref.name}"
+            if key not in frame.columns:
+                raise PlanError(f"unknown column {ref.display()!r}")
+            return key
+        candidates = [
+            f"{binding}.{ref.name}"
+            for binding, cols in frame.bindings.items()
+            if ref.name in cols
+        ]
+        if not candidates:
+            raise PlanError(f"unknown column {ref.name!r}")
+        if len(candidates) > 1:
+            raise PlanError(f"ambiguous column {ref.name!r}")
+        return candidates[0]
+
+    def _charge_join_motion(self, frame: Frame, key_names: list[str]) -> None:
+        """Account data motion for one join input."""
+        colocated = bool(frame.distribution & set(key_names))
+        plan = self.cluster.plan_motion(frame.byte_size(), frame.length, colocated)
+        if plan.kind == "redistribute":
+            self.stats.record_redistribution(plan.moved_bytes)
+        elif plan.kind == "broadcast":
+            self.stats.record_broadcast(
+                plan.moved_bytes // self.cluster.n_segments, self.cluster.n_segments
+            )
+
+    def _merge_inner(
+        self,
+        left: Frame,
+        right: Frame,
+        right_binding: str,
+        edges: list[tuple[str, str, ColumnRef, ColumnRef]],
+    ) -> Frame:
+        left_keys: list[Column] = []
+        right_keys: list[Column] = []
+        left_names: list[str] = []
+        right_names: list[str] = []
+        for _, _, ref_a, ref_b in edges:
+            # Orient each edge: one side references the right binding.
+            if _ref_binding(ref_b, right.bindings) == right_binding:
+                left_ref, right_ref = ref_a, ref_b
+            else:
+                left_ref, right_ref = ref_b, ref_a
+            lname = self._qualified(left_ref, left)
+            rname = self._qualified(right_ref, right)
+            left_keys.append(left.columns[lname])
+            right_keys.append(right.columns[rname])
+            left_names.append(lname)
+            right_names.append(rname)
+        self._charge_join_motion(left, left_names)
+        self._charge_join_motion(right, right_names)
+        l_idx, r_idx = self._join_kernel(left_keys, right_keys)
+        columns = {name: col.take(l_idx) for name, col in left.columns.items()}
+        columns.update({name: col.take(r_idx) for name, col in right.columns.items()})
+        bindings = dict(left.bindings)
+        bindings.update(right.bindings)
+        distribution = frozenset(left_names) | frozenset(right_names)
+        return Frame(columns, bindings, int(l_idx.shape[0]), distribution)
+
+    def _cartesian(self, left: Frame, right: Frame, right_binding: str) -> Frame:
+        total = left.length * right.length
+        if total > MAX_CARTESIAN_ROWS:
+            raise PlanError(
+                f"refusing cartesian product of {left.length} x {right.length} rows; "
+                "add an equality join predicate"
+            )
+        l_idx = np.repeat(np.arange(left.length), right.length)
+        r_idx = np.tile(np.arange(right.length), left.length)
+        self._charge_join_motion(left, [])
+        self._charge_join_motion(right, [])
+        columns = {name: col.take(l_idx) for name, col in left.columns.items()}
+        columns.update({name: col.take(r_idx) for name, col in right.columns.items()})
+        bindings = dict(left.bindings)
+        bindings.update(right.bindings)
+        return Frame(columns, bindings, total, frozenset())
+
+    def _merge_left(self, left: Frame, join: Join) -> Frame:
+        right = self._resolve_from_item(join.table)
+        binding = join.table.binding
+        if binding in left.bindings:
+            raise PlanError(f"duplicate table binding {binding!r}")
+        conjuncts = _conjuncts(join.condition)
+        binding_columns = {b: set(cols) for b, cols in left.bindings.items()}
+        binding_columns[binding] = set(right.bindings[binding])
+        left_keys: list[Column] = []
+        right_keys: list[Column] = []
+        left_names: list[str] = []
+        right_names: list[str] = []
+        residual: list[Expression] = []
+        for predicate in conjuncts:
+            edge = _as_join_edge(predicate, binding_columns)
+            if edge is None:
+                residual.append(predicate)
+                continue
+            _, _, ref_a, ref_b = edge
+            if _ref_binding(ref_b, {binding: right.bindings[binding]}) == binding:
+                left_ref, right_ref = ref_a, ref_b
+            elif _ref_binding(ref_a, {binding: right.bindings[binding]}) == binding:
+                left_ref, right_ref = ref_b, ref_a
+            else:
+                residual.append(predicate)
+                continue
+            left_names.append(self._qualified(left_ref, left))
+            right_names.append(self._qualified(right_ref, right))
+            left_keys.append(left.columns[left_names[-1]])
+            right_keys.append(right.columns[right_names[-1]])
+        if not left_keys:
+            raise PlanError("LEFT JOIN requires at least one equality condition")
+        if residual:
+            raise PlanError("non-equality LEFT JOIN conditions are not supported")
+        self._charge_join_motion(left, left_names)
+        self._charge_join_motion(right, right_names)
+        l_idx, r_idx = self._left_join_kernel(left_keys, right_keys)
+        columns = {name: col.take(l_idx) for name, col in left.columns.items()}
+        unmatched = r_idx == NO_MATCH
+        safe_idx = np.where(unmatched, 0, r_idx)
+        for name, col in right.columns.items():
+            if right.length == 0:
+                gathered = Column.nulls(int(l_idx.shape[0]), col.sql_type)
+            else:
+                gathered = col.take(safe_idx)
+                mask = gathered.null_mask() | unmatched
+                gathered = Column(gathered.values, gathered.sql_type, mask)
+            columns[name] = gathered
+        bindings = dict(left.bindings)
+        bindings.update(right.bindings)
+        distribution = frozenset(left_names)
+        return Frame(columns, bindings, int(l_idx.shape[0]), distribution)
+
+    # -- projection / aggregation / distinct -------------------------------
+
+    def _output_name(self, item: SelectItem, position: int) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, ColumnRef):
+            return item.expr.name
+        return f"column{position + 1}"
+
+    def _project(self, core: SelectCore, frame: Frame) -> Relation:
+        env = Environment(frame.env_columns(), frame.length, self.registry)
+        names: list[str] = []
+        display: list[str] = []
+        columns: dict[str, Column] = {}
+        qualified_by_output: dict[str, str] = {}
+        position = 0
+
+        def key_for(name: str) -> str:
+            return name if name not in columns else f"{name}__{position + 1}"
+
+        for item in core.items:
+            if isinstance(item.expr, Star):
+                for binding, cols in frame.bindings.items():
+                    for col in cols:
+                        key = key_for(col)
+                        names.append(key)
+                        display.append(col)
+                        columns[key] = frame.columns[f"{binding}.{col}"]
+                        qualified_by_output[key] = f"{binding}.{col}"
+                        position += 1
+                continue
+            name = self._output_name(item, position)
+            key = key_for(name)
+            columns[key] = evaluate(item.expr, env)
+            names.append(key)
+            display.append(name)
+            if isinstance(item.expr, ColumnRef):
+                qualified_by_output[key] = self._qualified(item.expr, frame)
+            position += 1
+        distribution = None
+        for name, qualified in qualified_by_output.items():
+            if qualified in frame.distribution:
+                distribution = name
+                break
+        return Relation(names, columns, distribution, display_names=display)
+
+    def _aggregate(self, core: SelectCore, frame: Frame) -> Relation:
+        env = Environment(frame.env_columns(), frame.length, self.registry)
+        group_refs: list[ColumnRef] = []
+        for expr in core.group_by:
+            if not isinstance(expr, ColumnRef):
+                raise PlanError("GROUP BY supports plain column references only")
+            group_refs.append(expr)
+        key_columns = [env.lookup(ref) for ref in group_refs]
+
+        if key_columns:
+            order, starts = self._group_kernel(key_columns)
+            n_groups = int(starts.shape[0])
+            counts = np.diff(np.append(starts, order.shape[0]))
+        else:
+            order = np.arange(frame.length)
+            starts = np.zeros(1, dtype=np.int64)
+            n_groups = 1
+            counts = np.array([frame.length])
+
+        # Motion: grouping needs rows co-located by the group key.
+        if key_columns:
+            key_names = [self._qualified(ref, frame) for ref in group_refs]
+            colocated = bool(frame.distribution & set(key_names))
+            plan = self.cluster.plan_motion(frame.byte_size(), frame.length, colocated)
+            if plan.kind == "redistribute":
+                self.stats.record_redistribution(plan.moved_bytes)
+            elif plan.kind == "broadcast":
+                self.stats.record_broadcast(
+                    plan.moved_bytes // self.cluster.n_segments,
+                    self.cluster.n_segments,
+                )
+
+        aggregates: list[Aggregate] = []
+        for item in core.items:
+            collect_aggregates(item.expr, aggregates)
+        agg_results: dict[Aggregate, Column] = {}
+        for node in aggregates:
+            agg_results[node] = self._compute_aggregate(
+                node, env, frame, order, starts, counts, n_groups, key_columns
+            )
+
+        group_env_columns: dict[str, Column] = {}
+        for ref, column in zip(group_refs, key_columns):
+            grouped = column.take(order[starts]) if n_groups else column.take(starts)
+            qualified = self._qualified(ref, frame)
+            group_env_columns[qualified] = grouped
+            group_env_columns.setdefault(ref.name, grouped)
+        group_env = Environment(
+            group_env_columns, n_groups, self.registry, aggregates=agg_results
+        )
+
+        names: list[str] = []
+        display: list[str] = []
+        columns: dict[str, Column] = {}
+        qualified_by_output: dict[str, str] = {}
+        for position, item in enumerate(core.items):
+            if isinstance(item.expr, Star):
+                raise PlanError("'*' cannot be combined with GROUP BY")
+            name = self._output_name(item, position)
+            key = name if name not in columns else f"{name}__{position + 1}"
+            self._check_grouped_refs(item.expr, group_refs)
+            columns[key] = evaluate(item.expr, group_env)
+            names.append(key)
+            display.append(name)
+            if isinstance(item.expr, ColumnRef):
+                qualified_by_output[key] = self._qualified(item.expr, frame)
+        distribution = None
+        if key_columns:
+            first_key = self._qualified(group_refs[0], frame)
+            for name, qualified in qualified_by_output.items():
+                if qualified == first_key:
+                    distribution = name
+                    break
+        return Relation(names, columns, distribution, display_names=display)
+
+    def _check_grouped_refs(
+        self, expr: Expression, group_refs: list[ColumnRef]
+    ) -> None:
+        """Reject references to non-grouped columns outside aggregates."""
+        if isinstance(expr, Aggregate):
+            return
+        if isinstance(expr, ColumnRef):
+            for ref in group_refs:
+                if ref.name == expr.name and (
+                    expr.table is None or ref.table is None or ref.table == expr.table
+                ):
+                    return
+            raise PlanError(
+                f"column {expr.display()!r} must appear in GROUP BY or an aggregate"
+            )
+        if isinstance(expr, BinaryOp):
+            self._check_grouped_refs(expr.left, group_refs)
+            self._check_grouped_refs(expr.right, group_refs)
+        elif hasattr(expr, "operand"):
+            self._check_grouped_refs(expr.operand, group_refs)
+        elif hasattr(expr, "args"):
+            for arg in expr.args:
+                self._check_grouped_refs(arg, group_refs)
+
+    def _compute_aggregate(
+        self,
+        node: Aggregate,
+        env: Environment,
+        frame: Frame,
+        order: np.ndarray,
+        starts: np.ndarray,
+        counts: np.ndarray,
+        n_groups: int,
+        key_columns: list[Column],
+    ) -> Column:
+        if node.name == "count" and node.arg is None:
+            return Column(counts.astype(np.int64), INT64)
+        if node.arg is None:
+            raise PlanError(f"{node.name}() requires an argument")
+        argument = evaluate(node.arg, env)
+        if node.distinct:
+            return self._count_distinct(argument, key_columns, n_groups)
+        if order.shape[0] == 0:
+            # Global aggregate over an empty input: count is 0, the others
+            # are NULL (SQL semantics); grouped aggregates have no groups.
+            if n_groups == 0:
+                return Column(np.empty(0, dtype=np.int64), INT64)
+            if node.name == "count":
+                return Column(np.zeros(n_groups, dtype=np.int64), INT64)
+            return Column.nulls(n_groups, argument.sql_type)
+        sorted_values = argument.values[order]
+        sorted_mask = argument.null_mask()[order]
+        valid_counts = np.add.reduceat(
+            (~sorted_mask).astype(np.int64), starts
+        ) if n_groups else np.zeros(0, dtype=np.int64)
+        if node.name == "count":
+            return Column(valid_counts, INT64)
+        if argument.sql_type not in (INT64, FLOAT64, BOOL):
+            raise PlanError(f"{node.name}() on non-numeric column")
+        dtype = argument.values.dtype
+        if node.name in ("min", "max"):
+            if argument.sql_type == INT64:
+                sentinel = np.iinfo(np.int64).max if node.name == "min" \
+                    else np.iinfo(np.int64).min
+            else:
+                sentinel = np.inf if node.name == "min" else -np.inf
+            padded = np.where(sorted_mask, sentinel, sorted_values)
+            reducer = np.minimum if node.name == "min" else np.maximum
+            values = reducer.reduceat(padded, starts) if n_groups else padded
+            mask = valid_counts == 0
+            return Column(
+                values.astype(dtype, copy=False),
+                argument.sql_type,
+                mask if mask.any() else None,
+            )
+        if node.name in ("sum", "avg"):
+            padded = np.where(sorted_mask, 0, sorted_values)
+            sums = np.add.reduceat(padded.astype(np.float64), starts) if n_groups \
+                else np.zeros(0)
+            mask = valid_counts == 0
+            if node.name == "sum":
+                if argument.sql_type == INT64:
+                    return Column(
+                        sums.astype(np.int64), INT64, mask if mask.any() else None
+                    )
+                return Column(sums, FLOAT64, mask if mask.any() else None)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                averages = sums / valid_counts
+            return Column(averages, FLOAT64, mask if mask.any() else None)
+        raise PlanError(f"unknown aggregate {node.name!r}")
+
+    def _count_distinct(
+        self, argument: Column, key_columns: list[Column], n_groups: int
+    ) -> Column:
+        """count(distinct x), per group (or globally when no GROUP BY)."""
+        valid = ~argument.null_mask()
+        all_columns = [col.filter(valid) for col in key_columns]
+        all_columns.append(argument.filter(valid))
+        unique_idx = distinct_rows(all_columns)
+        if not key_columns:
+            return Column(np.array([unique_idx.shape[0]], dtype=np.int64), INT64)
+        unique_keys = [col.take(unique_idx) for col in all_columns[:-1]]
+        inner_order, inner_starts = group_rows(unique_keys)
+        per_group = np.diff(np.append(inner_starts, inner_order.shape[0]))
+        # Align with the outer grouping: groups with only-NULL arguments or
+        # no rows at all are missing here; rebuild by joining on key order.
+        outer_order, outer_starts = group_rows(key_columns)
+        outer_keys = [col.take(outer_order[outer_starts]) for col in key_columns]
+        inner_key_rows = [col.take(inner_order[inner_starts]) for col in unique_keys]
+        l_idx, r_idx = join_indices(outer_keys, inner_key_rows)
+        result = np.zeros(n_groups, dtype=np.int64)
+        result[l_idx] = per_group[r_idx]
+        return Column(result, INT64)
+
+    def _distinct(self, relation: Relation) -> Relation:
+        columns = [relation.columns[n] for n in relation.names]
+        if not columns or relation.n_rows == 0:
+            return relation
+        colocated = relation.distribution is not None
+        plan = self.cluster.plan_motion(
+            relation.byte_size(), relation.n_rows, colocated
+        )
+        if plan.kind == "redistribute":
+            self.stats.record_redistribution(plan.moved_bytes)
+        elif plan.kind == "broadcast":
+            self.stats.record_broadcast(
+                plan.moved_bytes // self.cluster.n_segments, self.cluster.n_segments
+            )
+        keep = self._distinct_kernel(columns)
+        keep = np.sort(keep)
+        new_columns = {n: relation.columns[n].take(keep) for n in relation.names}
+        return Relation(list(relation.names), new_columns, relation.distribution)
+
+
+# ---------------------------------------------------------------------------
+# predicate analysis helpers
+# ---------------------------------------------------------------------------
+
+
+def _conjuncts(expr: Optional[Expression]) -> list[Expression]:
+    """Flatten a predicate into AND-connected conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _ref_binding(ref: ColumnRef, bindings: dict[str, list[str]]) -> Optional[str]:
+    if ref.table is not None:
+        return ref.table if ref.table in bindings else None
+    owners = [b for b, cols in bindings.items() if ref.name in cols]
+    if len(owners) == 1:
+        return owners[0]
+    return None
+
+
+def _bindings_of(
+    expr: Expression, binding_columns: dict[str, set[str]]
+) -> set[str]:
+    refs: list[ColumnRef] = []
+    collect_column_refs(expr, refs)
+    touched: set[str] = set()
+    for ref in refs:
+        if ref.table is not None:
+            touched.add(ref.table)
+        else:
+            owners = [b for b, cols in binding_columns.items() if ref.name in cols]
+            if len(owners) == 1:
+                touched.add(owners[0])
+            else:
+                # Ambiguous or unknown: treat as touching everything so the
+                # predicate is applied after all joins (and resolution errors
+                # surface with a clear message there).
+                touched.update(binding_columns.keys())
+    return touched
+
+
+def _as_join_edge(
+    expr: Expression, binding_columns: dict[str, set[str]]
+) -> Optional[tuple[str, str, ColumnRef, ColumnRef]]:
+    """Return (binding_a, binding_b, ref_a, ref_b) for `a.x = b.y` predicates."""
+    if not (isinstance(expr, BinaryOp) and expr.op == "="):
+        return None
+    left, right = expr.left, expr.right
+    if not (isinstance(left, ColumnRef) and isinstance(right, ColumnRef)):
+        return None
+    bindings = {b: list(cols) for b, cols in binding_columns.items()}
+    left_binding = _ref_binding(left, bindings)
+    right_binding = _ref_binding(right, bindings)
+    if left_binding is None or right_binding is None:
+        return None
+    if left_binding == right_binding:
+        return None
+    return left_binding, right_binding, left, right
+
+
+def _edge_bindings(edge: tuple[str, str, ColumnRef, ColumnRef]) -> set[str]:
+    return {edge[0], edge[1]}

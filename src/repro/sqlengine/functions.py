@@ -1,0 +1,214 @@
+"""Scalar function registry: built-ins and user-defined functions.
+
+The paper's algorithm needs ``least`` and ``coalesce`` (Figure 3/4) plus a
+user-defined function ``axplusb`` implementing GF(2^64) arithmetic — the C
+function of Appendix A.  The engine exposes the same extension point:
+:meth:`FunctionRegistry.register_udf` accepts a vectorised Python callable
+and makes it callable from SQL, which is how :mod:`repro.core` installs
+``axplusb``, ``axbmodp`` and ``blowfish``.
+
+Calling convention for UDFs: argument expressions that are SQL literals are
+passed as plain Python scalars, column-valued arguments as numpy arrays.
+This mirrors how a database hands constant arguments to a C UDF once per
+query rather than once per row, and it is what lets ``axplusb`` build its
+lookup tables for a round's constant ``(A, B)`` only once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .errors import CatalogError, ExecutionError
+from .types import BOOL, FLOAT64, INT64, TEXT, Column, dtype_for
+
+#: Marker for scalar (literal) arguments inside evaluated argument lists.
+@dataclass(frozen=True)
+class ScalarArg:
+    """A literal argument value, passed to UDFs as a Python scalar."""
+
+    value: object
+
+
+ArgValue = Column | ScalarArg
+
+
+def _as_column(arg: ArgValue, length: int) -> Column:
+    if isinstance(arg, Column):
+        return arg
+    return Column.constant(arg.value, length)
+
+
+def _common_numeric_type(columns: Sequence[Column]) -> str:
+    if any(col.sql_type == TEXT for col in columns):
+        return TEXT
+    if any(col.sql_type == FLOAT64 for col in columns):
+        return FLOAT64
+    return INT64
+
+
+def _least_greatest(args: Sequence[ArgValue], length: int, pick_max: bool) -> Column:
+    """Row-wise least/greatest ignoring NULLs (PostgreSQL semantics)."""
+    columns = [_as_column(a, length) for a in args]
+    if not columns:
+        raise ExecutionError("least/greatest need at least one argument")
+    sql_type = _common_numeric_type(columns)
+    if sql_type == TEXT:
+        raise ExecutionError("least/greatest on text is not supported")
+    dtype = dtype_for(sql_type)
+    extreme = (np.iinfo(np.int64).min if pick_max else np.iinfo(np.int64).max) \
+        if sql_type == INT64 else (-np.inf if pick_max else np.inf)
+    best = np.full(length, extreme, dtype=dtype)
+    any_valid = np.zeros(length, dtype=bool)
+    for col in columns:
+        values = col.values.astype(dtype, copy=False)
+        if col.mask is not None:
+            values = np.where(col.mask, extreme, values)
+            any_valid |= ~col.mask
+        else:
+            any_valid |= True
+        best = np.maximum(best, values) if pick_max else np.minimum(best, values)
+    mask = None if any_valid.all() else ~any_valid
+    return Column(best, sql_type, mask)
+
+
+def _coalesce(args: Sequence[ArgValue], length: int) -> Column:
+    columns = [_as_column(a, length) for a in args]
+    if not columns:
+        raise ExecutionError("coalesce needs at least one argument")
+    sql_type = _common_numeric_type(columns)
+    result = columns[0]
+    if sql_type != result.sql_type and sql_type != TEXT:
+        result = Column(result.values.astype(dtype_for(sql_type)), sql_type, result.mask)
+    for col in columns[1:]:
+        if result.mask is None:
+            break
+        take_from_next = result.mask
+        values = result.values.copy()
+        next_values = col.values.astype(values.dtype, copy=False) \
+            if sql_type != TEXT else col.values
+        values[take_from_next] = next_values[take_from_next]
+        if col.mask is not None:
+            new_mask = result.mask & col.mask
+        else:
+            new_mask = np.zeros(length, dtype=bool)
+        result = Column(values, sql_type, new_mask if new_mask.any() else None)
+    return result
+
+
+def _strict_unary(fn: Callable[[np.ndarray], np.ndarray], result_type: str | None = None):
+    def call(args: Sequence[ArgValue], length: int) -> Column:
+        if len(args) != 1:
+            raise ExecutionError("function expects exactly one argument")
+        col = _as_column(args[0], length)
+        values = fn(col.values)
+        sql_type = result_type or col.sql_type
+        return Column(values.astype(dtype_for(sql_type), copy=False), sql_type, col.mask)
+
+    return call
+
+
+def _mod(args: Sequence[ArgValue], length: int) -> Column:
+    if len(args) != 2:
+        raise ExecutionError("mod expects two arguments")
+    a = _as_column(args[0], length)
+    b = _as_column(args[1], length)
+    divisor = b.values
+    if (divisor == 0).any():
+        raise ExecutionError("division by zero in mod()")
+    values = np.fmod(a.values, divisor).astype(np.int64)
+    mask = _union_masks([a, b], length)
+    return Column(values, INT64, mask)
+
+
+def _nullif(args: Sequence[ArgValue], length: int) -> Column:
+    if len(args) != 2:
+        raise ExecutionError("nullif expects two arguments")
+    a = _as_column(args[0], length)
+    b = _as_column(args[1], length)
+    equal = a.values == b.values
+    mask = a.null_mask().copy()
+    mask |= np.asarray(equal, dtype=bool) & ~b.null_mask()
+    return Column(a.values, a.sql_type, mask if mask.any() else None)
+
+
+def _union_masks(columns: Sequence[Column], length: int) -> np.ndarray | None:
+    mask = None
+    for col in columns:
+        if col.mask is not None:
+            mask = col.mask.copy() if mask is None else (mask | col.mask)
+    return mask
+
+
+class FunctionRegistry:
+    """Name → implementation mapping for scalar functions."""
+
+    def __init__(self) -> None:
+        self._builtins: dict[str, Callable[[Sequence[ArgValue], int], Column]] = {}
+        self._install_builtins()
+
+    def _install_builtins(self) -> None:
+        self._builtins["least"] = lambda a, n: _least_greatest(a, n, pick_max=False)
+        self._builtins["greatest"] = lambda a, n: _least_greatest(a, n, pick_max=True)
+        self._builtins["coalesce"] = _coalesce
+        self._builtins["abs"] = _strict_unary(np.abs)
+        self._builtins["floor"] = _strict_unary(np.floor, FLOAT64)
+        self._builtins["ceil"] = _strict_unary(np.ceil, FLOAT64)
+        self._builtins["sqrt"] = _strict_unary(np.sqrt, FLOAT64)
+        self._builtins["sign"] = _strict_unary(np.sign, INT64)
+        self._builtins["mod"] = _mod
+        self._builtins["nullif"] = _nullif
+
+    def register_udf(
+        self,
+        name: str,
+        fn: Callable[..., np.ndarray],
+        returns: str = INT64,
+        replace: bool = True,
+    ) -> None:
+        """Register a vectorised user-defined scalar function.
+
+        ``fn`` receives one positional argument per SQL argument: numpy
+        arrays for column-valued arguments, plain Python values for literal
+        arguments.  It must return a numpy array of row values.  NULLs are
+        strict: any NULL argument row yields a NULL result row.
+        """
+        lowered = name.lower()
+
+        def call(args: Sequence[ArgValue], length: int) -> Column:
+            raw = []
+            masks: list[Column] = []
+            for arg in args:
+                if isinstance(arg, ScalarArg):
+                    raw.append(arg.value)
+                else:
+                    raw.append(arg.values)
+                    masks.append(arg)
+            result = np.asarray(fn(*raw))
+            if result.ndim == 0:
+                result = np.full(length, result[()])
+            if result.shape[0] != length:
+                raise ExecutionError(
+                    f"UDF {name} returned {result.shape[0]} rows, expected {length}"
+                )
+            mask = _union_masks(masks, length)
+            if returns == TEXT:
+                values = result.astype(object)
+            else:
+                values = result.astype(dtype_for(returns), copy=False)
+            return Column(values, returns, mask)
+
+        if not replace and lowered in self._builtins:
+            raise CatalogError(f"function {name!r} already exists")
+        self._builtins[lowered] = call
+
+    def lookup(self, name: str) -> Callable[[Sequence[ArgValue], int], Column]:
+        try:
+            return self._builtins[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown function {name!r}")
+
+    def exists(self, name: str) -> bool:
+        return name.lower() in self._builtins

@@ -1,0 +1,146 @@
+"""SQL tokenizer.
+
+Produces the token stream consumed by :mod:`repro.sqlengine.parser`.  The
+dialect covers what the paper's queries (Appendix A) and the ported baseline
+algorithms need: identifiers, integer/float/string literals, the usual
+operators, ``--`` line comments and ``/* */`` block comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ParseError
+
+# Token kinds.
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+INTEGER = "INTEGER"
+FLOAT = "FLOAT"
+STRING = "STRING"
+OP = "OP"
+EOF = "EOF"
+
+#: Reserved words recognised case-insensitively.  Anything else is an
+#: identifier.  (Function names like ``least`` are deliberately *not*
+#: keywords; they parse as identifiers followed by ``(``.)
+KEYWORDS = frozenset(
+    """
+    select distinct from where group by as create table drop alter rename to
+    union all and or not null is in temp temporary if exists insert into
+    values left right full outer inner join on using distributed randomly
+    case when then else end between like limit order asc desc truncate
+    """.split()
+)
+
+_MULTI_CHAR_OPS = ("<=", ">=", "!=", "<>", "||")
+_SINGLE_CHAR_OPS = "=<>+-*/%(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source offset (for error messages)."""
+
+    kind: str
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        """Check kind and (case-insensitively, for words) value."""
+        if self.kind != kind:
+            return False
+        if value is None:
+            return True
+        return self.value.lower() == value.lower()
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenise SQL text; raises :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise ParseError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            kind = KEYWORD if word.lower() in KEYWORDS else IDENT
+            tokens.append(Token(kind, word, start))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = sql[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # Don't swallow "1." followed by an identifier (alias.col
+                    # never starts with a digit, so this is always a float dot
+                    # unless the next char is not a digit).
+                    if i + 1 < n and sql[i + 1].isdigit():
+                        seen_dot = True
+                        i += 1
+                    else:
+                        break
+                elif c in "eE" and not seen_exp and i + 1 < n and (
+                    sql[i + 1].isdigit() or sql[i + 1] in "+-"
+                ):
+                    seen_exp = True
+                    i += 2 if sql[i + 1] in "+-" else 1
+                else:
+                    break
+            text = sql[start:i]
+            kind = FLOAT if (seen_dot or seen_exp) else INTEGER
+            tokens.append(Token(kind, text, start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chunks: list[str] = []
+            while True:
+                if i >= n:
+                    raise ParseError("unterminated string literal", start)
+                if sql[i] == "'":
+                    if i + 1 < n and sql[i + 1] == "'":
+                        chunks.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chunks.append(sql[i])
+                i += 1
+            tokens.append(Token(STRING, "".join(chunks), start))
+            continue
+        matched = False
+        for op in _MULTI_CHAR_OPS:
+            if sql.startswith(op, i):
+                tokens.append(Token(OP, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_CHAR_OPS:
+            tokens.append(Token(OP, ch, i))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(EOF, "", n))
+    return tokens

@@ -1,0 +1,167 @@
+"""Vectorised relational operator kernels.
+
+These are the numpy building blocks the executor assembles plans from:
+m:n equi-joins (inner and left outer), group-by boundary detection, and
+DISTINCT.  All kernels are pure index arithmetic — they return row index
+arrays rather than materialised rows, so the executor can gather only the
+columns a query actually needs.
+
+Every kernel must behave on empty inputs, because the termination condition
+of every reproduced algorithm ("repeat until the edge table is empty") makes
+the final round's queries run over zero rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import ExecutionError
+from .types import TEXT, Column
+
+#: Right-index sentinel for unmatched rows in a left outer join.
+NO_MATCH = -1
+
+
+def _keys_as_arrays(columns: list[Column]) -> list[np.ndarray]:
+    arrays = []
+    for col in columns:
+        if col.sql_type == TEXT:
+            arrays.append(col.values)
+        else:
+            arrays.append(np.ascontiguousarray(col.values))
+    return arrays
+
+
+def _non_null_rows(columns: list[Column]) -> np.ndarray | None:
+    """Row mask selecting rows where no key column is NULL, or None if all."""
+    mask = None
+    for col in columns:
+        if col.mask is not None:
+            mask = col.mask.copy() if mask is None else (mask | col.mask)
+    if mask is None:
+        return None
+    return ~mask
+
+
+def _pack_keys(arrays: list[np.ndarray]) -> np.ndarray:
+    """Reduce a multi-column key to a single comparable array.
+
+    Single numeric keys pass through untouched (the hot path — every join in
+    the reproduced algorithms is single-column).  Multi-column numeric keys
+    are packed into a contiguous void view so one argsort handles them;
+    anything involving text falls back to Python tuples.
+    """
+    if len(arrays) == 1:
+        return arrays[0]
+    if all(a.dtype != object for a in arrays):
+        stacked = np.ascontiguousarray(np.stack(arrays, axis=1))
+        return stacked.view([("", stacked.dtype)] * stacked.shape[1]).ravel()
+    return np.array([tuple(row) for row in zip(*arrays)], dtype=object)
+
+
+def join_indices(
+    left_keys: list[Column], right_keys: list[Column]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inner m:n equi-join; returns aligned (left_rows, right_rows).
+
+    NULL keys never match (SQL semantics).
+    """
+    if len(left_keys) != len(right_keys) or not left_keys:
+        raise ExecutionError("join requires matching non-empty key lists")
+    left_valid = _non_null_rows(left_keys)
+    right_valid = _non_null_rows(right_keys)
+    lk = _pack_keys(_keys_as_arrays(left_keys))
+    rk = _pack_keys(_keys_as_arrays(right_keys))
+    left_rows = np.arange(lk.shape[0])
+    right_rows = np.arange(rk.shape[0])
+    if left_valid is not None:
+        left_rows = left_rows[left_valid]
+        lk = lk[left_valid]
+    if right_valid is not None:
+        right_rows = right_rows[right_valid]
+        rk = rk[right_valid]
+    if lk.shape[0] == 0 or rk.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    l_idx, r_idx = _merge_join(lk, rk)
+    return left_rows[l_idx], right_rows[r_idx]
+
+
+def left_join_indices(
+    left_keys: list[Column], right_keys: list[Column]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Left outer m:n equi-join.
+
+    Returns (left_rows, right_rows) where unmatched left rows appear exactly
+    once with ``right_rows == NO_MATCH``.
+    """
+    l_idx, r_idx = join_indices(left_keys, right_keys)
+    n_left = len(left_keys[0])
+    matched = np.zeros(n_left, dtype=bool)
+    matched[l_idx] = True
+    missing = np.flatnonzero(~matched)
+    if missing.size == 0:
+        return l_idx, r_idx
+    left_rows = np.concatenate([l_idx, missing])
+    right_rows = np.concatenate([r_idx, np.full(missing.size, NO_MATCH, dtype=np.int64)])
+    return left_rows, right_rows
+
+
+def _merge_join(lk: np.ndarray, rk: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort-merge join core on packed keys without NULLs."""
+    r_order = np.argsort(rk, kind="stable")
+    r_sorted = rk[r_order]
+    lo = np.searchsorted(r_sorted, lk, side="left")
+    hi = np.searchsorted(r_sorted, lk, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    l_idx = np.repeat(np.arange(lk.shape[0]), counts)
+    run_starts = np.repeat(lo, counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    within_run = np.arange(total) - np.repeat(offsets, counts)
+    r_idx = r_order[run_starts + within_run]
+    return l_idx, r_idx
+
+
+def group_rows(key_columns: list[Column]) -> tuple[np.ndarray, np.ndarray]:
+    """Group rows by key equality.
+
+    Returns ``(order, starts)``: ``order`` sorts rows so equal keys are
+    adjacent; ``starts`` indexes into ``order`` at each group's first row.
+    NULL keys form their own group (SQL GROUP BY treats NULLs as equal).
+    """
+    n = len(key_columns[0]) if key_columns else 0
+    if n == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    sort_keys: list[np.ndarray] = []
+    for col in key_columns:
+        sort_keys.append(col.null_mask())
+        sort_keys.append(col.values)
+    # np.lexsort sorts by the *last* key first.
+    order = np.lexsort(tuple(reversed(sort_keys)))
+    change = np.zeros(n, dtype=bool)
+    change[0] = True
+    for col in key_columns:
+        values_sorted = col.values[order]
+        mask_sorted = col.null_mask()[order]
+        differs = values_sorted[1:] != values_sorted[:-1]
+        differs |= mask_sorted[1:] != mask_sorted[:-1]
+        # Two NULLs compare equal regardless of their underlying values.
+        both_null = mask_sorted[1:] & mask_sorted[:-1]
+        differs &= ~both_null
+        change[1:] |= differs
+    starts = np.flatnonzero(change)
+    return order, starts
+
+
+def distinct_rows(columns: list[Column]) -> np.ndarray:
+    """Row indices of the first occurrence of each distinct row."""
+    if not columns:
+        return np.empty(0, dtype=np.int64)
+    order, starts = group_rows(columns)
+    if order.size == 0:
+        return order
+    return order[starts]

@@ -1,0 +1,165 @@
+"""Execution statistics: the measurement substrate for Tables III–V.
+
+The paper evaluates algorithms on three axes besides wall-clock time:
+
+* **maximum space used** (Table IV) — the peak amount of storage occupied by
+  live tables at any point during the run;
+* **total data written** (Table V) — every byte ever written into a table,
+  which is what a transactional execution would have to retain for rollback;
+* **query count** — Randomised Contraction's O(log |V|) bound is stated in
+  SQL queries.
+
+:class:`EngineStats` tracks all three plus simulated MPP data motion, and
+enforces an optional space budget whose violation the bench harness reports
+as "did not finish" — reproducing the DNF cells of Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .errors import SpaceBudgetExceeded
+
+
+@dataclass
+class QueryRecord:
+    """Per-statement log entry."""
+
+    label: str
+    sql: str
+    rows: int
+    bytes_written: int
+    motion_bytes: int
+    elapsed_seconds: float
+
+
+@dataclass
+class StatsSnapshot:
+    """Immutable copy of the counters, for before/after diffing."""
+
+    queries: int
+    rows_written: int
+    bytes_written: int
+    motion_bytes: int
+    broadcast_bytes: int
+    live_bytes: int
+    peak_live_bytes: int
+
+    def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
+        """Counters accumulated since ``earlier`` (peak is the later peak)."""
+        return StatsSnapshot(
+            queries=self.queries - earlier.queries,
+            rows_written=self.rows_written - earlier.rows_written,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            motion_bytes=self.motion_bytes - earlier.motion_bytes,
+            broadcast_bytes=self.broadcast_bytes - earlier.broadcast_bytes,
+            live_bytes=self.live_bytes,
+            peak_live_bytes=self.peak_live_bytes,
+        )
+
+
+class EngineStats:
+    """Mutable statistics accumulator owned by a Database instance."""
+
+    def __init__(self, space_budget_bytes: Optional[int] = None):
+        self.space_budget_bytes = space_budget_bytes
+        self.queries = 0
+        self.rows_written = 0
+        self.bytes_written = 0
+        self.motion_bytes = 0
+        self.broadcast_bytes = 0
+        self.live_bytes = 0
+        self.peak_live_bytes = 0
+        self.log: list[QueryRecord] = []
+        # Per-statement scratch counters, folded into a QueryRecord by the
+        # database façade around each execute() call.
+        self._stmt_bytes = 0
+        self._stmt_rows = 0
+        self._stmt_motion = 0
+
+    # -- table lifecycle ----------------------------------------------------
+
+    def record_table_created(self, n_bytes: int, n_rows: int) -> None:
+        """Account a freshly materialised table and enforce the budget."""
+        self.rows_written += n_rows
+        self.bytes_written += n_bytes
+        self.live_bytes += n_bytes
+        self._stmt_bytes += n_bytes
+        self._stmt_rows += n_rows
+        if self.live_bytes > self.peak_live_bytes:
+            self.peak_live_bytes = self.live_bytes
+        if (
+            self.space_budget_bytes is not None
+            and self.live_bytes > self.space_budget_bytes
+        ):
+            raise SpaceBudgetExceeded(self.live_bytes, self.space_budget_bytes)
+
+    def record_table_dropped(self, n_bytes: int) -> None:
+        self.live_bytes -= n_bytes
+
+    def record_rows_appended(self, n_bytes: int, n_rows: int) -> None:
+        """INSERT accounting (same budget rules as table creation)."""
+        self.record_table_created(n_bytes, n_rows)
+
+    # -- data motion ----------------------------------------------------------
+
+    def record_redistribution(self, n_bytes: int) -> None:
+        """Rows re-hashed to other segments ahead of a join/aggregation."""
+        self.motion_bytes += n_bytes
+        self._stmt_motion += n_bytes
+
+    def record_broadcast(self, n_bytes: int, n_segments: int) -> None:
+        """A small relation replicated to every segment."""
+        total = n_bytes * n_segments
+        self.motion_bytes += total
+        self.broadcast_bytes += total
+        self._stmt_motion += total
+
+    # -- statement bracketing -------------------------------------------------
+
+    def begin_statement(self) -> None:
+        self._stmt_bytes = 0
+        self._stmt_rows = 0
+        self._stmt_motion = 0
+
+    def end_statement(self, label: str, sql: str, rows: int, elapsed: float) -> None:
+        self.queries += 1
+        self.log.append(
+            QueryRecord(
+                label=label,
+                sql=sql if len(sql) <= 200 else sql[:197] + "...",
+                rows=rows,
+                bytes_written=self._stmt_bytes,
+                motion_bytes=self._stmt_motion,
+                elapsed_seconds=elapsed,
+            )
+        )
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self) -> StatsSnapshot:
+        return StatsSnapshot(
+            queries=self.queries,
+            rows_written=self.rows_written,
+            bytes_written=self.bytes_written,
+            motion_bytes=self.motion_bytes,
+            broadcast_bytes=self.broadcast_bytes,
+            live_bytes=self.live_bytes,
+            peak_live_bytes=self.peak_live_bytes,
+        )
+
+    def reset_peak(self) -> None:
+        """Restart peak-space tracking from the current live size.
+
+        Called by the bench harness after loading a dataset so Table IV
+        measures the algorithm, not the loader.
+        """
+        self.peak_live_bytes = self.live_bytes
+
+    def reset(self) -> None:
+        budget = self.space_budget_bytes
+        live = self.live_bytes
+        self.__init__(budget)
+        self.live_bytes = live
+        self.peak_live_bytes = live

@@ -1,0 +1,116 @@
+"""Stored tables and the catalog."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .errors import CatalogError, ExecutionError
+from .types import Column
+
+
+class Table:
+    """A named, column-store table with an optional distribution column.
+
+    Tables are created whole (``CREATE TABLE ... AS``) or appended to
+    (``INSERT``); rows are never updated in place, matching how the paper's
+    algorithms use the database (write-once temporary tables that are
+    renamed and dropped).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: dict[str, Column],
+        distribution_column: Optional[str] = None,
+    ):
+        if not columns:
+            raise ExecutionError(f"table {name!r} needs at least one column")
+        lengths = {len(col) for col in columns.values()}
+        if len(lengths) != 1:
+            raise ExecutionError(f"ragged columns while creating table {name!r}")
+        if distribution_column is not None and distribution_column not in columns:
+            raise CatalogError(
+                f"distribution column {distribution_column!r} is not a column of "
+                f"table {name!r}"
+            )
+        self.name = name
+        self.columns = dict(columns)
+        self.distribution_column = distribution_column
+        self._byte_size: Optional[int] = None
+
+    @property
+    def n_rows(self) -> int:
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.columns)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise CatalogError(f"table {self.name!r} has no column {name!r}")
+
+    def byte_size(self) -> int:
+        """Storage footprint (cached; appends invalidate the cache)."""
+        if self._byte_size is None:
+            self._byte_size = sum(col.byte_size() for col in self.columns.values())
+        return self._byte_size
+
+    def append(self, columns: dict[str, Column]) -> int:
+        """Append rows; returns the number of bytes added."""
+        if set(columns) != set(self.columns):
+            raise ExecutionError(
+                f"INSERT columns {sorted(columns)} do not match table "
+                f"{self.name!r} columns {sorted(self.columns)}"
+            )
+        before = self.byte_size()
+        for name, col in columns.items():
+            self.columns[name] = Column.concat([self.columns[name], col])
+        self._byte_size = None
+        return self.byte_size() - before
+
+
+class Catalog:
+    """Name → table mapping with rename/drop semantics."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}")
+
+    def put(self, table: Table) -> None:
+        key = table.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+
+    def drop(self, name: str) -> Table:
+        try:
+            return self._tables.pop(name.lower())
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}")
+
+    def rename(self, old: str, new: str) -> Table:
+        if new.lower() in self._tables:
+            raise CatalogError(f"table {new!r} already exists")
+        table = self.drop(old)
+        table.name = new.lower()
+        self._tables[new.lower()] = table
+        return table
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def total_bytes(self) -> int:
+        return sum(t.byte_size() for t in self._tables.values())

@@ -1,0 +1,67 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.graphs import EdgeList
+from repro.sqlengine import Database
+
+# A fast default profile: the suite has many property tests; each one keeps
+# examples small instead of numerous.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture()
+def db() -> Database:
+    """A fresh 4-segment database."""
+    return Database(n_segments=4)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+#: The worked example of the paper's Figure 1.
+FIGURE1_EDGES = [
+    (1, 5), (1, 10), (2, 4), (2, 9), (3, 8),
+    (3, 10), (4, 9), (5, 6), (5, 7), (6, 10),
+]
+
+
+@pytest.fixture()
+def figure1() -> EdgeList:
+    return EdgeList.from_pairs(FIGURE1_EDGES)
+
+
+def random_edge_list(draw, max_vertices: int = 24, max_edges: int = 40) -> EdgeList:
+    """Hypothesis helper: a random small graph, possibly with loops."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    n_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=n),
+                st.integers(min_value=1, max_value=n),
+            ),
+            min_size=n_edges,
+            max_size=n_edges,
+        )
+    )
+    if not pairs:
+        pairs = [(1, 1)]
+    return EdgeList.from_pairs(pairs)
+
+
+@st.composite
+def edge_lists(draw, max_vertices: int = 24, max_edges: int = 40):
+    return random_edge_list(draw, max_vertices, max_edges)

@@ -1,0 +1,125 @@
+"""Tests for the analysis utilities (Figure 5, Section VII-B metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    binned_histogram,
+    bytes_to_human,
+    component_sizes,
+    fit_scale_free,
+    quasi_linearity_exponent,
+    relative_stdev,
+    render_figure5,
+    size_histogram,
+)
+from repro.graphs import EdgeList, path_union
+
+
+def power_law_graph(rng, alpha=2.0, scale=400):
+    """A disjoint union of paths whose size distribution is a power law:
+    the number of components of size s is ~ scale * s^-alpha."""
+    pairs = []
+    offset = 0
+    for size in (2, 3, 4, 6, 8, 12, 16, 24, 32):
+        count = max(1, int(scale * size ** -alpha))
+        for _ in range(count):
+            ids = np.arange(offset, offset + size)
+            pairs.extend(zip(ids[:-1], ids[1:]))
+            offset += size
+    return EdgeList.from_pairs(pairs)
+
+
+def test_component_sizes_descending():
+    edges = path_union(3, 4)  # sizes 4, 8, 16
+    assert component_sizes(edges).tolist() == [16, 8, 4]
+
+
+def test_size_histogram():
+    edges = EdgeList.from_pairs([(1, 2), (3, 4), (5, 6), (7, 8), (10, 11),
+                                 (11, 12)])
+    values, counts = size_histogram(edges)
+    assert values.tolist() == [2, 3]
+    assert counts.tolist() == [4, 1]
+
+
+def test_empty_graph_histogram():
+    values, counts = size_histogram(EdgeList.empty())
+    assert values.shape[0] == 0 and counts.shape[0] == 0
+
+
+def test_scale_free_fit_detects_power_law():
+    rng = np.random.default_rng(0)
+    edges = power_law_graph(rng)
+    fit = fit_scale_free(edges)
+    assert fit.slope < -0.4
+    assert fit.looks_scale_free
+
+
+def test_scale_free_fit_excludes_giant():
+    rng = np.random.default_rng(1)
+    edges = power_law_graph(rng)
+    # Attach one giant component.
+    giant = EdgeList.from_pairs(
+        [(i, i + 1) for i in range(10_000, 12_000)]
+    )
+    combined = edges.concat(giant)
+    fit = fit_scale_free(combined, drop_giant=True)
+    assert fit.giant_component_size == 2001
+    assert fit.looks_scale_free
+
+
+def test_binned_histogram_buckets_by_powers_of_two():
+    edges = path_union(4, 4)  # sizes 4, 8, 16, 32
+    buckets = dict(binned_histogram(edges))
+    assert buckets == {4: 1, 8: 1, 16: 1, 32: 1}
+
+
+def test_render_figure5_mentions_datasets_and_slope():
+    rng = np.random.default_rng(2)
+    text = render_figure5({"synthetic": power_law_graph(rng)})
+    assert "synthetic" in text
+    assert "slope" in text
+    assert "#" in text
+
+
+def test_relative_stdev():
+    assert relative_stdev([10.0, 10.0, 10.0]) == 0.0
+    assert relative_stdev([1.0]) == 0.0
+    value = relative_stdev([9.0, 10.0, 11.0])
+    assert 0.05 < value < 0.15
+
+
+def test_relative_stdev_paper_comparison():
+    """Section VII-B: RC's ~4% relative stdev is 'not very high'."""
+    randomised = [100, 104, 96]
+    deterministic = [100, 102, 98]
+    assert relative_stdev(randomised) < 0.10
+    assert relative_stdev(randomised) > relative_stdev(deterministic)
+
+
+def test_quasi_linearity_exponent_linear_data():
+    sizes = [100, 200, 400, 800]
+    times = [1.0, 2.1, 3.9, 8.2]
+    alpha = quasi_linearity_exponent(sizes, times)
+    assert 0.9 < alpha < 1.1
+
+
+def test_quasi_linearity_exponent_quadratic_data():
+    sizes = [10, 20, 40]
+    times = [1.0, 4.0, 16.0]
+    assert quasi_linearity_exponent(sizes, times) == pytest.approx(2.0)
+
+
+def test_quasi_linearity_exponent_validation():
+    with pytest.raises(ValueError):
+        quasi_linearity_exponent([1], [1])
+    with pytest.raises(ValueError):
+        quasi_linearity_exponent([5, 5], [1, 2])
+
+
+def test_bytes_to_human():
+    assert bytes_to_human(999) == "999 B"
+    assert bytes_to_human(1200) == "1.2 kB"
+    assert bytes_to_human(3_400_000) == "3.4 MB"
+    assert bytes_to_human(5_600_000_000) == "5.6 GB"

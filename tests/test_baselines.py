@@ -1,0 +1,171 @@
+"""Tests for the baseline algorithms: Hash-to-Min, Two-Phase, Cracker,
+BFS and graph squaring (Sections II and IV of the paper)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import connected_components
+from repro.core import (
+    BreadthFirstSearchCC,
+    Cracker,
+    GraphSquaringCC,
+    HashToMin,
+    TwoPhase,
+)
+from repro.graphs import (
+    EdgeList,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    path_union,
+    star_graph,
+)
+from repro.sqlengine import Database, SpaceBudgetExceeded
+
+from .conftest import edge_lists
+
+BASELINES = ["hm", "tp", "cr", "bfs", "squaring"]
+
+
+@pytest.mark.parametrize("algorithm", BASELINES)
+@given(edges=edge_lists(max_vertices=16, max_edges=24))
+@settings(max_examples=10)
+def test_baselines_match_ground_truth(algorithm, edges):
+    connected_components(edges, algorithm, seed=0, validate=True)
+
+
+@pytest.mark.parametrize("algorithm", BASELINES)
+def test_baselines_handle_loop_edges(algorithm):
+    edges = EdgeList.from_pairs([(1, 1), (2, 3), (9, 9)])
+    result = connected_components(edges, algorithm, seed=0, validate=True)
+    assert result.n_components == 3
+
+
+@pytest.mark.parametrize("algorithm", BASELINES)
+def test_baselines_on_structured_graphs(algorithm):
+    for edges, expected in [
+        (path_graph(30), 1),
+        (cycle_graph(12), 1),
+        (star_graph(10), 1),
+        (complete_graph(8), 1),
+        (path_union(3, 4), 3),
+    ]:
+        result = connected_components(edges, algorithm, seed=1, validate=True)
+        assert result.n_components == expected
+
+
+def test_bfs_takes_n_minus_one_rounds_on_path():
+    """Section IV: BFS needs n - 1 steps on the sequential path."""
+    n = 20
+    result = connected_components(path_graph(n), "bfs", seed=0)
+    # Convergence is detected one round after the last change.
+    assert n - 1 <= result.run.rounds <= n
+
+
+def test_bfs_round_limit_enforced():
+    algo = BreadthFirstSearchCC(max_rounds=3)
+    with pytest.raises(RuntimeError, match="converge"):
+        connected_components(path_graph(30), algo, seed=0)
+
+
+def test_bfs_is_fast_on_star():
+    result = connected_components(star_graph(50), "bfs", seed=0)
+    assert result.run.rounds <= 2
+
+
+def test_squaring_reaches_complete_graph():
+    """Section IV: G^2 iteration ends at |V|^2 edges per component."""
+    n = 16
+    db = Database()
+    result = connected_components(path_graph(n), "squaring", seed=0, db=db)
+    counts = result.run.extra["edge_counts"]
+    # Doubled edge count of the complete graph: n * (n-1).
+    assert counts[-1] == n * (n - 1)
+    assert result.run.rounds <= 6  # log2(diameter) + slack
+
+
+def test_squaring_blowup_is_quadratic():
+    """The quadratic intermediate data that makes squaring unusable."""
+    n = 40
+    result = connected_components(path_graph(n), "squaring", seed=0)
+    counts = result.run.extra["edge_counts"]
+    assert max(counts) >= (n * (n - 1)) // 2
+
+
+def test_squaring_respects_space_budget():
+    edges = path_graph(200)
+    with pytest.raises(SpaceBudgetExceeded):
+        connected_components(
+            edges, "squaring", seed=0,
+            space_budget_bytes=edges.byte_size() * 20,
+        )
+
+
+def test_hash_to_min_blows_space_budget_on_path():
+    """Table III: Hash-to-Min cannot handle the path datasets."""
+    edges = path_graph(4000)
+    with pytest.raises(SpaceBudgetExceeded):
+        connected_components(
+            edges, "hm", seed=0, space_budget_bytes=edges.byte_size() * 8
+        )
+
+
+def test_randomised_contraction_survives_the_same_budget():
+    edges = path_graph(4000)
+    result = connected_components(
+        edges, "rc", seed=0, space_budget_bytes=edges.byte_size() * 8
+    )
+    assert result.n_components == 1
+
+
+def test_hash_to_min_rounds_logarithmic_on_random_graph():
+    import numpy as np
+
+    from repro.graphs import gnm_random_graph
+
+    edges = gnm_random_graph(400, 600, np.random.default_rng(0))
+    result = connected_components(edges, "hm", seed=0)
+    assert result.run.rounds <= 14
+
+
+def test_two_phase_takes_more_rounds_on_pathunion():
+    """PathUnion10's role: Two-Phase's log^2 worst case shows up as a
+    higher round count than Randomised Contraction needs."""
+    edges = path_union(6, 8)
+    tp = connected_components(edges, "tp", seed=0, validate=True)
+    rc = connected_components(edges, "rc", seed=0, validate=True)
+    assert tp.run.rounds >= rc.run.rounds
+
+
+def test_cracker_propagation_depth_reported():
+    result = connected_components(path_graph(100), "cr", seed=0)
+    assert result.run.extra["propagation_depth"] >= 1
+
+
+def test_cracker_on_two_vertex_graph():
+    result = connected_components(EdgeList.from_pairs([(1, 2)]), "cr", seed=0)
+    assert result.n_components == 1
+
+
+@pytest.mark.parametrize("algorithm", ["hm", "tp", "cr"])
+def test_baseline_temp_tables_cleaned(algorithm):
+    db = Database()
+    connected_components(path_graph(40), algorithm, seed=0, db=db)
+    leftovers = [n for n in db.table_names()
+                 if n.startswith("cc") and n not in ("ccinput", "ccresult")]
+    assert leftovers == []
+
+
+def test_dnf_leaves_database_usable():
+    db = Database(space_budget_bytes=200_000)
+    edges = path_graph(4000)
+    from repro.graphs import load_edges_into
+
+    load_edges_into(db, "g", edges)
+    algo = HashToMin()
+    with pytest.raises(SpaceBudgetExceeded):
+        algo.run(db, "g", seed=0)
+    # After the failure the temp tables are gone and the db still works.
+    leftovers = [n for n in db.table_names() if n.startswith("cc")]
+    assert leftovers == []
+    assert db.execute("select count(*) from g").scalar() == edges.n_edges

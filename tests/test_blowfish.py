@@ -1,0 +1,81 @@
+"""Tests for the Blowfish cipher — the encryption randomisation method."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ff.blowfish import Blowfish, _initial_boxes
+
+uint64s = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+def test_initial_boxes_are_pi_derived():
+    p, s = _initial_boxes()
+    assert p[0] == 0x243F6A88
+    assert p[17] == 0x8979FB1B
+    assert s[0][0] == 0xD1310BA6
+    assert s[3][255] == 0x3AC372E6
+
+
+def test_key_schedule_changes_boxes():
+    cipher = Blowfish(b"k")
+    p, _ = _initial_boxes()
+    assert cipher._p != p
+
+
+@given(uint64s)
+def test_decrypt_inverts_encrypt(block):
+    cipher = Blowfish(b"round-key-000001")
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_vector_matches_scalar():
+    cipher = Blowfish(b"vector-test")
+    blocks = np.array([0, 1, 2, 12345, (1 << 64) - 1], dtype=np.uint64)
+    encrypted = cipher.encrypt_vector(blocks)
+    for i, block in enumerate(blocks.tolist()):
+        assert int(encrypted[i]) == cipher.encrypt_block(block)
+
+
+def test_bijective_on_sample():
+    cipher = Blowfish(b"bijection")
+    blocks = np.arange(20_000, dtype=np.uint64)
+    out = cipher.encrypt_vector(blocks)
+    assert len(set(out.tolist())) == 20_000
+
+
+def test_different_keys_give_different_permutations():
+    a = Blowfish((1).to_bytes(16, "big"))
+    b = Blowfish((2).to_bytes(16, "big"))
+    blocks = np.arange(64, dtype=np.uint64)
+    assert not np.array_equal(a.encrypt_vector(blocks), b.encrypt_vector(blocks))
+
+
+def test_from_round_key_is_deterministic():
+    a = Blowfish.from_round_key(0xDEADBEEF)
+    b = Blowfish.from_round_key(0xDEADBEEF)
+    assert a.encrypt_block(7) == b.encrypt_block(7)
+
+
+def test_avalanche_flipping_one_plaintext_bit():
+    cipher = Blowfish(b"avalanche")
+    a = cipher.encrypt_block(0)
+    b = cipher.encrypt_block(1)
+    differing = bin(a ^ b).count("1")
+    # A healthy 64-bit block cipher flips roughly half the bits.
+    assert differing > 16
+
+
+def test_key_length_validation():
+    with pytest.raises(ValueError):
+        Blowfish(b"")
+    with pytest.raises(ValueError):
+        Blowfish(b"x" * 57)
+    Blowfish(b"x")          # 1 byte ok
+    Blowfish(b"x" * 56)     # 56 bytes ok
+
+
+def test_output_covers_full_64_bit_range():
+    cipher = Blowfish(b"range")
+    out = cipher.encrypt_vector(np.arange(4096, dtype=np.uint64))
+    assert int(out.max()) > 1 << 62

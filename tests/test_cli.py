@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_run_on_dataset(capsys):
+    code, out = run_cli(capsys, "run", "pathunion10", "--scale", "0.05",
+                        "--validate")
+    assert code == 0
+    assert "components      : 10" in out
+    assert "validation" in out
+
+
+def test_run_with_method_and_variant(capsys):
+    code, out = run_cli(
+        capsys, "run", "pathunion10", "--scale", "0.05",
+        "--method", "encryption", "--variant", "deterministic-space",
+    )
+    assert code == 0
+    assert "encryption" in out
+
+
+def test_run_on_spark_backend(capsys):
+    code, out = run_cli(capsys, "run", "pathunion10", "--scale", "0.05",
+                        "--backend", "spark")
+    assert code == 0
+    assert "spark" in out
+
+
+def test_run_on_csv_file(capsys, tmp_path):
+    path = tmp_path / "g.csv"
+    path.write_text("v1,v2\n1,2\n2,3\n7,7\n")
+    code, out = run_cli(capsys, "run", str(path))
+    assert code == 0
+    assert "components      : 2" in out
+
+
+def test_run_unknown_graph_errors(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "no-such-thing"])
+
+
+def test_datasets_listing(capsys):
+    code, out = run_cli(capsys, "datasets")
+    assert code == 0
+    assert "andromeda" in out
+    assert "pathunion10" in out
+
+
+def test_datasets_build(capsys):
+    code, out = run_cli(capsys, "datasets", "--build", "--scale", "0.02")
+    assert code == 0
+    assert "TABLE II" in out
+
+
+def test_bench_small_grid(capsys):
+    code, out = run_cli(
+        capsys, "bench", "--datasets", "pathunion10",
+        "--algorithms", "rc", "tp", "--scale", "0.05",
+    )
+    assert code == 0
+    assert "TABLE III" in out
+    assert "TABLE IV" in out
+    assert "TABLE V" in out
+    assert "FIGURE 6" in out
+
+
+def test_gamma(capsys):
+    code, out = run_cli(capsys, "gamma", "pathunion10", "--scale", "0.05",
+                        "--rounds", "4")
+    assert code == 0
+    assert "gamma" in out
+    assert "OK" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

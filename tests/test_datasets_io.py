@@ -1,0 +1,103 @@
+"""Tests for the dataset registry (Table II roles) and graph I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    TABLE_DATASETS,
+    EdgeList,
+    build_dataset,
+    dataset_names,
+    edges_from_table,
+    get_dataset_spec,
+    load_edges_into,
+    read_csv,
+    write_csv,
+)
+from repro.graphs.datasets import default_scale
+from repro.sqlengine import Database
+
+
+def test_table_ii_datasets_all_registered():
+    expected = [
+        "andromeda", "bitcoin_addresses", "bitcoin_full",
+        "candels10", "candels20", "candels40", "candels80", "candels160",
+        "friendster", "rmat", "path100m", "pathunion10",
+    ]
+    assert TABLE_DATASETS == expected
+    for name in expected:
+        assert get_dataset_spec(name).paper_edges_m > 0
+
+
+def test_streets_registered_as_extra():
+    assert "streets_of_italy" in dataset_names()
+
+
+def test_unknown_dataset_raises():
+    with pytest.raises(KeyError, match="unknown dataset"):
+        get_dataset_spec("nope")
+
+
+@pytest.mark.parametrize("name", TABLE_DATASETS)
+def test_build_tiny_scale(name):
+    edges = build_dataset(name, scale=0.02)
+    assert edges.n_edges > 0
+    assert edges.n_vertices > 0
+
+
+def test_candels_series_doubles_in_size():
+    sizes = [build_dataset(f"candels{f}", scale=0.05).n_edges
+             for f in (10, 20, 40)]
+    assert sizes[1] > 1.6 * sizes[0]
+    assert sizes[2] > 1.6 * sizes[1]
+
+
+def test_path100m_is_sequential_path():
+    edges = build_dataset("path100m", scale=0.01)
+    assert edges.n_edges == edges.n_vertices - 1
+    assert (edges.dst - edges.src == 1).all()
+
+
+def test_scale_env_variable(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    assert default_scale() == 0.5
+
+
+def test_scale_env_variable_invalid(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "banana")
+    with pytest.raises(ValueError):
+        default_scale()
+    monkeypatch.setenv("REPRO_SCALE", "-1")
+    with pytest.raises(ValueError):
+        default_scale()
+
+
+def test_load_and_read_back_roundtrip():
+    db = Database()
+    edges = EdgeList.from_pairs([(1, 2), (3, 4)])
+    load_edges_into(db, "g", edges)
+    assert db.table("g").distribution_column == "v1"
+    back = edges_from_table(db, "g")
+    assert back == edges
+
+
+def test_edges_from_table_requires_two_columns():
+    db = Database()
+    db.execute("create table one_col (v int)")
+    with pytest.raises(ValueError):
+        edges_from_table(db, "one_col")
+
+
+def test_csv_roundtrip(tmp_path):
+    edges = EdgeList.from_pairs([(10, 20), (30, 40)])
+    path = tmp_path / "edges.csv"
+    write_csv(edges, path)
+    back = read_csv(path)
+    assert back == edges
+
+
+def test_csv_reader_skips_header_and_blank_lines(tmp_path):
+    path = tmp_path / "edges.csv"
+    path.write_text("v1,v2\n\n1,2\nnot,numbers\n3,4\n")
+    back = read_csv(path)
+    assert back.n_edges == 2

@@ -1,0 +1,96 @@
+"""Tests for the Bitcoin, social and street-network dataset generators."""
+
+import numpy as np
+
+from repro.core.unionfind import count_components
+from repro.graphs import (
+    bitcoin_addresses_graph,
+    bitcoin_full_graph,
+    friendster_like_graph,
+    generate_blockchain,
+    streets_like_graph,
+)
+
+
+def test_blockchain_arrays_consistent():
+    chain = generate_blockchain(500, np.random.default_rng(0))
+    assert chain.input_tx.shape == chain.input_address.shape
+    assert chain.output_tx.shape == chain.output_id.shape
+    assert chain.output_spent_by.shape == chain.output_id.shape
+    assert chain.input_tx.max() < chain.n_transactions
+    assert chain.input_address.max() < chain.n_addresses
+
+
+def test_address_graph_is_bipartite():
+    chain = generate_blockchain(500, np.random.default_rng(1))
+    graph = chain.address_graph()
+    # Sources are addresses (< n_addresses), targets are offset tx ids.
+    assert graph.src.max() < chain.n_addresses
+    assert graph.dst.min() >= chain.n_addresses
+
+
+def test_address_graph_has_many_small_components():
+    """Role of 'Bitcoin addresses' in Table II: component count is a large
+    fraction of the vertex count (216.9M of 878M in the paper)."""
+    edges = bitcoin_addresses_graph(4000, seed=2)
+    components = count_components(edges)
+    assert components > edges.n_vertices * 0.02
+    assert components > 50
+
+
+def test_full_graph_has_few_components():
+    """Role of 'Bitcoin full': components are markets — few and large."""
+    edges = bitcoin_full_graph(4000, seed=2)
+    components = count_components(edges)
+    assert components < edges.n_vertices * 0.02
+
+
+def test_full_graph_is_bipartite_tx_output():
+    chain = generate_blockchain(300, np.random.default_rng(3))
+    graph = chain.full_graph()
+    n_outputs = chain.output_id.shape[0]
+    # One side below n_outputs (outputs), the other at/above (transactions).
+    sides = np.concatenate([graph.src, graph.dst])
+    assert (sides < n_outputs).any() and (sides >= n_outputs).any()
+
+
+def test_unspent_outputs_do_not_link():
+    chain = generate_blockchain(300, np.random.default_rng(4))
+    graph = chain.full_graph()
+    spent = int((chain.output_spent_by >= 0).sum())
+    created = int(chain.output_id.shape[0])
+    assert graph.n_edges == created + spent
+
+
+def test_friendster_like_is_single_component():
+    edges = friendster_like_graph(1500, seed=6)
+    assert count_components(edges) == 1
+
+
+def test_friendster_like_is_dense_and_heavy_tailed():
+    edges = friendster_like_graph(2000, avg_degree=20, seed=6)
+    average = 2 * edges.n_edges / edges.n_vertices
+    assert average > 6
+    histogram = edges.degree_histogram()
+    assert max(histogram) > 3 * average
+
+
+def test_streets_like_edge_vertex_ratio():
+    """Street networks: |E| ~ |V| (19M/20M in the original dataset)."""
+    edges = streets_like_graph(60, 60, seed=1)
+    ratio = edges.n_edges / edges.n_vertices
+    assert 0.8 < ratio < 1.4
+
+
+def test_streets_like_low_degree():
+    edges = streets_like_graph(50, 50, seed=1)
+    histogram = edges.degree_histogram()
+    assert max(histogram) <= 8  # lattice + diagonals stay low-degree
+
+
+def test_generators_are_deterministic_per_seed():
+    a = bitcoin_addresses_graph(300, seed=9)
+    b = bitcoin_addresses_graph(300, seed=9)
+    assert a == b
+    c = bitcoin_addresses_graph(300, seed=10)
+    assert a != c

@@ -1,0 +1,113 @@
+"""Tests for the EdgeList container."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.graphs import EdgeList
+
+from .conftest import edge_lists
+
+
+def test_from_pairs_and_lengths():
+    edges = EdgeList.from_pairs([(1, 2), (3, 4)])
+    assert edges.n_edges == 2
+    assert edges.n_vertices == 4
+
+
+def test_empty():
+    edges = EdgeList.empty()
+    assert edges.n_edges == 0
+    assert edges.n_vertices == 0
+    assert edges.max_vertex_id() == -1
+
+
+def test_vertices_sorted_unique():
+    edges = EdgeList.from_pairs([(5, 1), (1, 5), (3, 3)])
+    assert edges.vertices().tolist() == [1, 3, 5]
+
+
+def test_canonical_dedups_and_orients():
+    edges = EdgeList.from_pairs([(2, 1), (1, 2), (1, 2)])
+    canonical = edges.canonical()
+    assert canonical.n_edges == 1
+    assert (canonical.src[0], canonical.dst[0]) == (1, 2)
+
+
+def test_canonical_keeps_loop_only_for_isolated_vertices():
+    edges = EdgeList.from_pairs([(1, 2), (1, 1), (7, 7)])
+    canonical = edges.canonical()
+    pairs = set(zip(canonical.src.tolist(), canonical.dst.tolist()))
+    assert pairs == {(1, 2), (7, 7)}
+
+
+def test_doubled():
+    edges = EdgeList.from_pairs([(1, 2)])
+    doubled = edges.doubled()
+    pairs = set(zip(doubled.src.tolist(), doubled.dst.tolist()))
+    assert pairs == {(1, 2), (2, 1)}
+
+
+@given(edge_lists())
+def test_canonical_preserves_vertex_set(edges):
+    assert np.array_equal(edges.canonical().vertices(), edges.vertices())
+
+
+@given(edge_lists())
+def test_randomised_ids_preserve_structure(edges):
+    rng = np.random.default_rng(0)
+    relabelled = edges.with_randomised_ids(rng)
+    assert relabelled.n_edges == edges.n_edges
+    assert relabelled.n_vertices == edges.n_vertices
+    # Degree multiset is invariant under relabelling.
+    assert relabelled.degree_histogram() == edges.degree_histogram()
+
+
+def test_randomised_ids_rejects_small_id_space():
+    edges = EdgeList.from_pairs([(1, 2), (3, 4)])
+    with pytest.raises(ValueError):
+        edges.with_randomised_ids(np.random.default_rng(0), id_space=2)
+
+
+def test_relabelled_explicit_mapping():
+    edges = EdgeList.from_pairs([(1, 2), (2, 3)])
+    out = edges.relabelled(np.array([1, 2, 3]), np.array([10, 20, 30]))
+    assert set(zip(out.src.tolist(), out.dst.tolist())) == {(10, 20), (20, 30)}
+
+
+def test_relabelled_requires_full_coverage():
+    edges = EdgeList.from_pairs([(1, 2)])
+    with pytest.raises(ValueError):
+        edges.relabelled(np.array([1]), np.array([10]))
+
+
+def test_concat_and_offset():
+    a = EdgeList.from_pairs([(1, 2)])
+    b = EdgeList.from_pairs([(1, 2)]).offset_ids(10)
+    both = a.concat(b)
+    assert both.n_edges == 2
+    assert both.n_vertices == 4
+
+
+def test_degree_histogram_ignores_loops():
+    edges = EdgeList.from_pairs([(1, 2), (2, 3), (9, 9)])
+    histogram = edges.degree_histogram()
+    assert histogram == {1: 2, 2: 1}
+
+
+def test_byte_size():
+    edges = EdgeList.from_pairs([(1, 2), (3, 4)])
+    assert edges.byte_size() == 32
+
+
+def test_equality_is_structural():
+    a = EdgeList.from_pairs([(1, 2), (3, 4)])
+    b = EdgeList.from_pairs([(4, 3), (2, 1), (1, 2)])
+    assert a == b
+    c = EdgeList.from_pairs([(1, 2)])
+    assert a != c
+
+
+def test_mismatched_arrays_rejected():
+    with pytest.raises(ValueError):
+        EdgeList(np.array([1, 2]), np.array([1]))

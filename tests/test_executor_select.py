@@ -1,0 +1,243 @@
+"""End-to-end SELECT execution tests against the engine."""
+
+import numpy as np
+import pytest
+
+from repro.sqlengine import Database, PlanError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.load_table(
+        "e",
+        {
+            "v1": np.array([1, 1, 2, 3, 3], dtype=np.int64),
+            "v2": np.array([2, 3, 3, 4, 5], dtype=np.int64),
+        },
+        distributed_by="v1",
+    )
+    database.load_table(
+        "names",
+        {
+            "v": np.array([1, 2, 3], dtype=np.int64),
+            "w": np.array([10, 20, 30], dtype=np.int64),
+        },
+        distributed_by="v",
+    )
+    return database
+
+
+def test_projection_and_alias(db):
+    result = db.execute("select v1 as a, v2 b from e")
+    assert result.names == ["a", "b"]
+    assert len(result.rows()) == 5
+
+
+def test_star_select(db):
+    result = db.execute("select * from names")
+    assert result.names == ["v", "w"]
+    assert sorted(result.rows()) == [(1, 10), (2, 20), (3, 30)]
+
+
+def test_filter_pushdown_result(db):
+    rows = db.execute("select v1, v2 from e where v1 = 3").rows()
+    assert sorted(rows) == [(3, 4), (3, 5)]
+
+
+def test_two_table_join_via_where(db):
+    rows = db.execute(
+        "select e.v1, names.w from e, names where e.v2 = names.v"
+    ).rows()
+    assert sorted(rows) == [(1, 20), (1, 30), (2, 30)]
+
+
+def test_three_table_join(db):
+    rows = db.execute(
+        """
+        select e.v1, a.w, b.w
+        from e, names as a, names as b
+        where e.v1 = a.v and e.v2 = b.v
+        """
+    ).rows()
+    assert sorted(rows) == [(1, 10, 20), (1, 10, 30), (2, 20, 30)]
+
+
+def test_join_with_residual_inequality(db):
+    rows = db.execute(
+        "select e.v1, names.v from e, names where e.v1 = names.v and e.v2 != 3"
+    ).rows()
+    assert sorted(rows) == [(1, 1), (3, 3), (3, 3)]
+
+
+def test_left_outer_join_nulls(db):
+    rows = db.execute(
+        """
+        select e.v2 as v, names.w as w
+        from e left outer join names on (e.v2 = names.v)
+        """
+    ).rows()
+    got = sorted(rows)
+    assert (4, None) in got and (5, None) in got
+    assert (2, 20) in got and (3, 30) in got
+
+
+def test_left_join_then_is_null_filter(db):
+    rows = db.execute(
+        """
+        select e.v2 from e left outer join names on (e.v2 = names.v)
+        where names.v is null
+        """
+    ).rows()
+    assert sorted(r[0] for r in rows) == [4, 5]
+
+
+def test_group_by_min_max(db):
+    rows = db.execute(
+        "select v1, min(v2), max(v2) from e group by v1"
+    ).rows()
+    assert sorted(rows) == [(1, 2, 3), (2, 3, 3), (3, 4, 5)]
+
+
+def test_group_by_with_expression_over_aggregate(db):
+    rows = db.execute(
+        "select v1, least(v1, min(v2)) as m from e group by v1"
+    ).rows()
+    assert sorted(rows) == [(1, 1), (2, 2), (3, 3)]
+
+
+def test_count_star_and_count_column():
+    db = Database()
+    db.execute("create table t (a int, b int)")
+    db.execute("insert into t values (1, null), (1, 2), (2, 3)")
+    rows = db.execute("select a, count(*), count(b) from t group by a").rows()
+    assert sorted(rows) == [(1, 2, 1), (2, 1, 1)]
+
+
+def test_global_aggregate_without_group_by(db):
+    assert db.execute("select count(*) from e").scalar() == 5
+    assert db.execute("select min(v2) from e").scalar() == 2
+    assert db.execute("select sum(v1) from e").scalar() == 10
+    assert db.execute("select avg(v1) from e").scalar() == pytest.approx(2.0)
+
+
+def test_global_aggregate_on_empty_table():
+    db = Database()
+    db.execute("create table t (a int)")
+    assert db.execute("select count(*) from t").scalar() == 0
+    assert db.execute("select min(a) from t").scalar() is None
+
+
+def test_count_distinct(db):
+    assert db.execute("select count(distinct v1) from e").scalar() == 3
+    rows = db.execute(
+        "select v1, count(distinct v2) from e group by v1"
+    ).rows()
+    assert sorted(rows) == [(1, 2), (2, 1), (3, 2)]
+
+
+def test_aggregate_ignores_nulls():
+    db = Database()
+    db.execute("create table t (a int, b int)")
+    db.execute("insert into t values (1, null), (1, 5), (1, 3)")
+    rows = db.execute("select a, min(b), sum(b) from t group by a").rows()
+    assert rows == [(1, 3, 8)]
+
+
+def test_non_grouped_column_rejected(db):
+    with pytest.raises(PlanError, match="GROUP BY"):
+        db.execute("select v1, v2 from e group by v1")
+
+
+def test_distinct(db):
+    rows = db.execute("select distinct v1 from e").rows()
+    assert sorted(r[0] for r in rows) == [1, 2, 3]
+
+
+def test_union_all(db):
+    result = db.execute(
+        "select v1, v2 from e union all select v2, v1 from e"
+    )
+    assert result.rowcount == 10
+
+
+def test_union_all_column_count_mismatch(db):
+    with pytest.raises(PlanError, match="UNION ALL"):
+        db.execute("select v1 from e union all select v1, v2 from e")
+
+
+def test_subquery_in_from(db):
+    rows = db.execute(
+        """
+        select q.m from (select v1, min(v2) as m from e group by v1) as q
+        where q.m > 2
+        """
+    ).rows()
+    assert sorted(r[0] for r in rows) == [3, 4]
+
+
+def test_subquery_join_with_base_table(db):
+    rows = db.execute(
+        """
+        select n.w
+        from (select distinct v1 from e) as q, names as n
+        where q.v1 = n.v
+        """
+    ).rows()
+    assert sorted(r[0] for r in rows) == [10, 20, 30]
+
+
+def test_select_without_from():
+    db = Database()
+    assert db.execute("select 1 + 1").scalar() == 2
+
+
+def test_ambiguous_bare_column_raises(db):
+    with pytest.raises(PlanError, match="ambiguous"):
+        db.execute("select v from names as a, names as b where a.v = b.v")
+
+
+def test_unknown_table_raises(db):
+    with pytest.raises(Exception, match="unknown table"):
+        db.execute("select 1 from missing")
+
+
+def test_duplicate_binding_rejected(db):
+    with pytest.raises(PlanError, match="duplicate"):
+        db.execute("select 1 from e, e")
+
+
+def test_small_cartesian_allowed():
+    db = Database()
+    db.execute("create table a (x int)")
+    db.execute("create table b (y int)")
+    db.execute("insert into a values (1), (2)")
+    db.execute("insert into b values (10), (20)")
+    rows = db.execute("select x, y from a, b").rows()
+    assert len(rows) == 4
+
+
+def test_huge_cartesian_rejected(db):
+    db.load_table("big1", {"x": np.arange(3000, dtype=np.int64)})
+    db.load_table("big2", {"y": np.arange(3000, dtype=np.int64)})
+    with pytest.raises(PlanError, match="cartesian"):
+        db.execute("select x, y from big1, big2")
+
+
+def test_self_join_with_aliases(db):
+    rows = db.execute(
+        """
+        select a.v1, b.v2
+        from e as a, e as b
+        where a.v2 = b.v1 and a.v1 != b.v2
+        """
+    ).rows()
+    assert (1, 3) in rows  # 1-2 joined with 2-3
+
+
+def test_join_edge_between_already_joined_tables_becomes_filter(db):
+    # Both predicates reference the same pair; the second must filter.
+    rows = db.execute(
+        "select e.v1 from e, names where e.v1 = names.v and e.v2 = names.w"
+    ).rows()
+    assert rows == []

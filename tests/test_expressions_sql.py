@@ -1,0 +1,165 @@
+"""Expression semantics, exercised end-to-end through SQL SELECTs."""
+
+import math
+
+import pytest
+
+from repro.sqlengine import Database, ExecutionError, PlanError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("create table t (a int, b int, f float, s text)")
+    database.execute(
+        "insert into t (a, b, f, s) values "
+        "(1, 10, 1.5, 'x'), (2, null, 2.5, 'y'), (3, 30, null, 'z')"
+    )
+    return database
+
+
+def one(db, sql):
+    return db.execute(sql).scalar()
+
+
+def test_arithmetic_int():
+    db = Database()
+    assert db.execute("select 2 + 3 * 4").scalar() == 14
+    assert db.execute("select (2 + 3) * 4").scalar() == 20
+    assert db.execute("select 7 % 3").scalar() == 1
+    assert db.execute("select -5 + 2").scalar() == -3
+
+
+def test_division_is_float():
+    db = Database()
+    assert db.execute("select 7 / 2").scalar() == pytest.approx(3.5)
+
+
+def test_division_by_zero_yields_null():
+    db = Database()
+    assert db.execute("select 1 / 0").scalar() is None
+
+
+def test_modulo_by_zero_raises():
+    db = Database()
+    with pytest.raises(ExecutionError):
+        db.execute("select 1 % 0")
+
+
+def test_string_concat():
+    db = Database()
+    assert db.execute("select 'a' || 'b'").scalar() == "ab"
+
+
+def test_comparisons(db):
+    rows = db.execute("select a from t where a >= 2").rows()
+    assert sorted(r[0] for r in rows) == [2, 3]
+
+
+def test_null_comparison_is_false(db):
+    # b is NULL in row 2: comparing NULL never matches.
+    assert one(db, "select count(*) from t where b = 10") == 1
+    assert one(db, "select count(*) from t where b != 10") == 1  # only b=30
+
+
+def test_is_null_and_is_not_null(db):
+    assert one(db, "select count(*) from t where b is null") == 1
+    assert one(db, "select count(*) from t where f is not null") == 2
+
+
+def test_not_operator(db):
+    assert one(db, "select count(*) from t where not a = 1") == 2
+
+
+def test_and_or(db):
+    assert one(db, "select count(*) from t where a = 1 or a = 3") == 2
+    assert one(db, "select count(*) from t where a >= 1 and a <= 2") == 2
+
+
+def test_in_list(db):
+    assert one(db, "select count(*) from t where a in (1, 3, 99)") == 2
+    assert one(db, "select count(*) from t where a not in (1, 3)") == 1
+
+
+def test_between(db):
+    assert one(db, "select count(*) from t where a between 2 and 3") == 2
+
+
+def test_least_greatest():
+    db = Database()
+    assert db.execute("select least(3, 1, 2)").scalar() == 1
+    assert db.execute("select greatest(3, 1, 2)").scalar() == 3
+
+
+def test_least_ignores_nulls(db):
+    rows = dict(db.execute("select a, least(a, b) from t").rows())
+    assert rows[1] == 1
+    assert rows[2] == 2  # NULL ignored, not propagated
+    assert rows[3] == 3
+
+
+def test_coalesce(db):
+    rows = dict(db.execute("select a, coalesce(b, -1) from t").rows())
+    assert rows == {1: 10, 2: -1, 3: 30}
+
+
+def test_coalesce_all_null():
+    db = Database()
+    assert db.execute("select coalesce(null, null)").scalar() is None
+
+
+def test_nullif():
+    db = Database()
+    assert db.execute("select nullif(5, 5)").scalar() is None
+    assert db.execute("select nullif(5, 6)").scalar() == 5
+
+
+def test_abs_sign_sqrt():
+    db = Database()
+    assert db.execute("select abs(-4)").scalar() == 4
+    assert db.execute("select sign(-9)").scalar() == -1
+    assert db.execute("select sqrt(9.0)").scalar() == pytest.approx(3.0)
+
+
+def test_mod_function():
+    db = Database()
+    assert db.execute("select mod(10, 3)").scalar() == 1
+
+
+def test_case_when(db):
+    rows = dict(db.execute(
+        "select a, case when a = 1 then 100 when a = 2 then 200 else 0 end from t"
+    ).rows())
+    assert rows == {1: 100, 2: 200, 3: 0}
+
+
+def test_case_without_else_yields_null(db):
+    rows = dict(db.execute(
+        "select a, case when a = 1 then 100 end from t"
+    ).rows())
+    assert rows == {1: 100, 2: None, 3: None}
+
+
+def test_null_propagates_through_arithmetic(db):
+    rows = dict(db.execute("select a, b + 1 from t").rows())
+    assert rows[2] is None
+
+
+def test_unknown_function_raises():
+    db = Database()
+    with pytest.raises(Exception, match="unknown function"):
+        db.execute("select frobnicate(1)")
+
+
+def test_unknown_column_raises(db):
+    with pytest.raises(PlanError, match="unknown column"):
+        db.execute("select nope from t")
+
+
+def test_text_comparison(db):
+    assert one(db, "select count(*) from t where s = 'y'") == 1
+
+
+def test_unary_minus_on_column(db):
+    rows = dict(db.execute("select a, -a from t").rows())
+    assert rows[3] == -3

@@ -1,0 +1,153 @@
+"""Tests for GF(2^64) arithmetic — the paper's axplusb substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ff.gf2_64 import (
+    IRREDUCIBLE_POLY,
+    MASK64,
+    Gf2AffineMap,
+    gf2_axplusb,
+    gf2_inv,
+    gf2_mul,
+    gf2_pow,
+    gf2_xtime,
+    to_signed,
+    to_unsigned,
+)
+
+uint64s = st.integers(min_value=0, max_value=MASK64)
+nonzero_uint64s = st.integers(min_value=1, max_value=MASK64)
+
+
+def c_reference_axplusb(a: int, x: int, b: int) -> int:
+    """Literal transcription of the paper's C UDF (Figure 7)."""
+    r = 0
+    a &= MASK64
+    x &= MASK64
+    while x:
+        if x & 1:
+            r ^= a
+        x = (x >> 1) & 0x7FFFFFFFFFFFFFFF
+        if a & (1 << 63):
+            a = ((a << 1) ^ 0x1B) & MASK64
+        else:
+            a = (a << 1) & MASK64
+    return (r ^ b) & MASK64
+
+
+def test_irreducible_polynomial_matches_paper():
+    # x^64 + x^4 + x^3 + x + 1 has low word 0b11011 = 0x1b.
+    assert IRREDUCIBLE_POLY == 0x1B
+
+
+@given(uint64s, uint64s, uint64s)
+def test_matches_transcribed_c_reference(a, x, b):
+    assert gf2_axplusb(a, x, b) == c_reference_axplusb(a, x, b)
+
+
+def test_multiplicative_identity():
+    for x in (0, 1, 2, 0xDEADBEEF, MASK64):
+        assert gf2_mul(1, x) == x
+        assert gf2_mul(x, 1) == x
+
+
+def test_zero_annihilates():
+    assert gf2_mul(0, 12345) == 0
+    assert gf2_mul(12345, 0) == 0
+
+
+@given(uint64s, uint64s)
+def test_multiplication_commutes(a, b):
+    assert gf2_mul(a, b) == gf2_mul(b, a)
+
+
+@given(uint64s, uint64s, uint64s)
+def test_multiplication_associates(a, b, c):
+    assert gf2_mul(gf2_mul(a, b), c) == gf2_mul(a, gf2_mul(b, c))
+
+
+@given(uint64s, uint64s, uint64s)
+def test_distributes_over_xor(a, b, c):
+    assert gf2_mul(a, b ^ c) == gf2_mul(a, b) ^ gf2_mul(a, c)
+
+
+def test_xtime_is_multiplication_by_two():
+    for a in (1, 5, 1 << 63, 0xFFFFFFFFFFFFFFFF):
+        assert gf2_xtime(a) == gf2_mul(2, a)
+
+
+@given(nonzero_uint64s)
+def test_inverse_is_two_sided(a):
+    inv = gf2_inv(a)
+    assert gf2_mul(a, inv) == 1
+    assert gf2_mul(inv, a) == 1
+
+
+def test_inverse_of_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        gf2_inv(0)
+
+
+def test_pow_small_cases():
+    assert gf2_pow(7, 0) == 1
+    assert gf2_pow(7, 1) == 7
+    assert gf2_pow(7, 2) == gf2_mul(7, 7)
+    assert gf2_pow(7, 3) == gf2_mul(7, gf2_mul(7, 7))
+
+
+def test_pow_rejects_negative_exponent():
+    with pytest.raises(ValueError):
+        gf2_pow(3, -1)
+
+
+def test_field_order():
+    # a^(2^64 - 1) == 1 for any non-zero a (Lagrange).
+    for a in (2, 3, 0x123456789ABCDEF):
+        assert gf2_pow(a, (1 << 64) - 1) == 1
+
+
+@given(nonzero_uint64s, uint64s)
+def test_affine_map_vector_matches_scalar(a, b):
+    mapping = Gf2AffineMap(a, b)
+    xs = np.array([0, 1, 2, 3, 1 << 32, MASK64], dtype=np.uint64)
+    vector = mapping.apply(xs)
+    for i, x in enumerate(xs.tolist()):
+        assert int(vector[i]) == mapping.apply_scalar(x)
+
+
+@given(nonzero_uint64s, uint64s)
+def test_affine_map_inverse_roundtrip(a, b):
+    mapping = Gf2AffineMap(a, b)
+    xs = np.arange(64, dtype=np.uint64) * np.uint64(0x123456789)
+    assert np.array_equal(mapping.inverse().apply(mapping.apply(xs)), xs)
+
+
+def test_affine_map_is_injective_on_sample():
+    mapping = Gf2AffineMap(0xABCDEF0123456789, 42)
+    xs = np.arange(10_000, dtype=np.uint64)
+    assert len(set(mapping.apply(xs).tolist())) == 10_000
+
+
+def test_affine_map_rejects_zero_a():
+    with pytest.raises(ValueError):
+        Gf2AffineMap(0, 1)
+
+
+def test_affine_map_accepts_int64_input():
+    mapping = Gf2AffineMap(3, 7)
+    signed = np.array([-1, -2, 5], dtype=np.int64)
+    out = mapping.apply(signed)
+    assert int(out[2]) == mapping.apply_scalar(5)
+    assert int(out[0]) == mapping.apply_scalar(MASK64)
+
+
+@given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+def test_signed_unsigned_roundtrip(x):
+    assert to_signed(to_unsigned(x)) == x
+
+
+@given(uint64s)
+def test_unsigned_signed_roundtrip(x):
+    assert to_unsigned(to_signed(x)) == x

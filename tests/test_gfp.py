@@ -1,0 +1,118 @@
+"""Tests for GF(p) arithmetic — the SQL-only finite-field variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ff.gfp import (
+    MERSENNE_31,
+    GfpAffineMap,
+    choose_field_prime,
+    is_prime,
+    next_prime,
+    random_affine_map,
+)
+
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 101, 7919, MERSENNE_31, (1 << 61) - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 561, 1 << 31, 7917, (1 << 32) - 1]
+
+
+@pytest.mark.parametrize("p", KNOWN_PRIMES)
+def test_known_primes(p):
+    assert is_prime(p)
+
+
+@pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+def test_known_composites(n):
+    assert not is_prime(n)
+
+
+def test_carmichael_numbers_rejected():
+    for n in (561, 1105, 1729, 2465, 2821, 6601):
+        assert not is_prime(n)
+
+
+def test_next_prime():
+    assert next_prime(1) == 2
+    assert next_prime(2) == 3
+    assert next_prime(10) == 11
+    assert next_prime(7919) == 7927
+
+
+def test_choose_field_prime_default():
+    assert choose_field_prime(1000) == MERSENNE_31
+    assert choose_field_prime(MERSENNE_31 - 1) == MERSENNE_31
+
+
+def test_choose_field_prime_above_mersenne():
+    p = choose_field_prime(MERSENNE_31 + 5)
+    assert is_prime(p)
+    assert p > MERSENNE_31 + 5
+    assert p < 1 << 32
+
+
+def test_choose_field_prime_rejects_huge_ids():
+    with pytest.raises(ValueError):
+        choose_field_prime(1 << 33)
+    with pytest.raises(ValueError):
+        choose_field_prime(-1)
+
+
+@given(st.integers(min_value=1, max_value=MERSENNE_31 - 1),
+       st.integers(min_value=0, max_value=MERSENNE_31 - 1))
+def test_affine_map_matches_direct_formula(a, b):
+    mapping = GfpAffineMap(a, b)
+    xs = np.array([0, 1, 2, 12345, MERSENNE_31 - 1], dtype=np.uint64)
+    out = mapping.apply(xs)
+    for i, x in enumerate(xs.tolist()):
+        assert int(out[i]) == (a * x + b) % MERSENNE_31
+
+
+@given(st.integers(min_value=1, max_value=MERSENNE_31 - 1),
+       st.integers(min_value=0, max_value=MERSENNE_31 - 1))
+def test_affine_map_inverse(a, b):
+    mapping = GfpAffineMap(a, b)
+    xs = np.arange(100, dtype=np.uint64)
+    assert np.array_equal(mapping.inverse().apply(mapping.apply(xs)), xs)
+
+
+def test_affine_map_is_bijective_on_small_field():
+    mapping = GfpAffineMap(3, 4, 17)
+    images = {mapping.apply_scalar(x) for x in range(17)}
+    assert images == set(range(17))
+
+
+def test_rejects_zero_a():
+    with pytest.raises(ValueError):
+        GfpAffineMap(0, 5)
+    with pytest.raises(ValueError):
+        GfpAffineMap(MERSENNE_31, 5)  # a % p == 0
+
+
+def test_rejects_composite_modulus():
+    with pytest.raises(ValueError):
+        GfpAffineMap(3, 4, 15)
+
+
+def test_rejects_oversized_modulus():
+    with pytest.raises(ValueError):
+        GfpAffineMap(3, 4, (1 << 61) - 1)
+
+
+def test_rejects_out_of_field_input():
+    mapping = GfpAffineMap(3, 4, 17)
+    with pytest.raises(ValueError):
+        mapping.apply(np.array([17], dtype=np.uint64))
+    with pytest.raises(ValueError):
+        mapping.apply_scalar(99)
+
+
+def test_random_affine_map_uses_rng():
+    import random
+
+    m1 = random_affine_map(random.Random(1))
+    m2 = random_affine_map(random.Random(1))
+    m3 = random_affine_map(random.Random(2))
+    assert (m1.a, m1.b) == (m2.a, m2.b)
+    assert (m1.a, m1.b) != (m3.a, m3.b)

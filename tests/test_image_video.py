@@ -1,0 +1,111 @@
+"""Tests for the image and video pixel-graph converters (paper Sec VII-A)."""
+
+import numpy as np
+
+from repro.core.unionfind import count_components
+from repro.graphs import (
+    image_to_graph,
+    synthetic_flight,
+    synthetic_starfield,
+    video_to_graph,
+)
+
+
+def uniform_image(height, width, value):
+    return np.full((height, width, 3), value, dtype=np.uint8)
+
+
+def test_uniform_image_is_fully_connected():
+    edges = image_to_graph(uniform_image(4, 5, 100), randomise_ids=False)
+    # 4-connectivity grid: H*(W-1) + (H-1)*W edges.
+    assert edges.n_edges == 4 * 4 + 3 * 5
+    assert count_components(edges) == 1
+
+
+def test_threshold_splits_regions():
+    image = uniform_image(4, 6, 10)
+    image[:, 3:, :] = 200  # right half very different
+    edges = image_to_graph(image, threshold=50, randomise_ids=False)
+    assert count_components(edges) == 2
+
+
+def test_exact_edge_set_on_tiny_image():
+    # 1x3 image: [10, 40, 200]; distance(10,40) = sqrt(3*30^2) ~ 52 > 50,
+    # so with threshold 52 the first pair connects, the second does not.
+    image = np.zeros((1, 3, 3), dtype=np.uint8)
+    image[0, 0] = 10
+    image[0, 1] = 40
+    image[0, 2] = 200
+    edges = image_to_graph(image, threshold=52, randomise_ids=False)
+    assert set(zip(edges.src.tolist(), edges.dst.tolist())) == {(0, 1)}
+
+
+def test_colour_distance_is_euclidean_not_per_channel():
+    # Per-channel deltas of 35 each exceed threshold 50 jointly
+    # (sqrt(3)*35 ~ 60.6) but not individually.
+    image = np.zeros((1, 2, 3), dtype=np.uint8)
+    image[0, 1] = 35
+    assert image_to_graph(image, threshold=50, randomise_ids=False).n_edges == 0
+    assert image_to_graph(image, threshold=61, randomise_ids=False).n_edges == 1
+
+
+def test_image_vertex_ids_randomised_by_default():
+    image = uniform_image(6, 6, 50)
+    edges = image_to_graph(image, rng=np.random.default_rng(1))
+    assert edges.max_vertex_id() > 36  # beyond the raw pixel index range
+
+
+def test_starfield_properties():
+    rng = np.random.default_rng(0)
+    image = synthetic_starfield(48, 64, rng)
+    assert image.shape == (48, 64, 3)
+    assert image.dtype == np.uint8
+    # Stars are bright; background is dark: both populations present.
+    assert (image.max(axis=2) > 100).any()
+    assert (image.max(axis=2) < 30).any()
+
+
+def test_starfield_graph_has_giant_background_and_small_components():
+    rng = np.random.default_rng(3)
+    image = synthetic_starfield(40, 60, rng)
+    edges = image_to_graph(image, threshold=50, rng=rng)
+    from repro.analysis import component_sizes
+
+    sizes = component_sizes(edges)
+    assert sizes.shape[0] > 3
+    assert sizes[0] > 5 * sizes[1]  # a dominant background component
+
+
+def test_uniform_video_is_fully_connected():
+    video = np.full((3, 3, 3, 3), 77, dtype=np.uint8)
+    edges = video_to_graph(video, randomise_ids=False)
+    assert count_components(edges) == 1
+    # 6-connectivity counts: per-frame grid edges * frames + temporal edges.
+    per_frame = 3 * 2 + 2 * 3
+    temporal = 2 * 9
+    assert edges.n_edges == 3 * per_frame + temporal
+
+
+def test_video_temporal_edges_obey_threshold():
+    video = np.zeros((2, 1, 1, 3), dtype=np.uint8)
+    video[1] = 100
+    assert video_to_graph(video, threshold=20, randomise_ids=False).n_edges == 0
+    assert video_to_graph(video, threshold=200, randomise_ids=False).n_edges == 1
+
+
+def test_synthetic_flight_shape_and_motion():
+    rng = np.random.default_rng(5)
+    video = synthetic_flight(4, 24, 32, rng)
+    assert video.shape == (4, 24, 32, 3)
+    # Frames differ (stars drift).
+    assert not np.array_equal(video[0], video[3])
+
+
+def test_flight_graph_is_mostly_one_background_component():
+    rng = np.random.default_rng(5)
+    video = synthetic_flight(3, 20, 24, rng)
+    edges = video_to_graph(video, threshold=20, rng=rng)
+    from repro.analysis import component_sizes
+
+    sizes = component_sizes(edges)
+    assert sizes[0] > edges.n_vertices * 0.5

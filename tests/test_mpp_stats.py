@@ -1,0 +1,184 @@
+"""MPP simulation and statistics accounting tests — Tables IV/V substrate."""
+
+import numpy as np
+import pytest
+
+from repro.sqlengine import Column, Database, SpaceBudgetExceeded
+from repro.sqlengine.mpp import Cluster, hash64
+
+
+def load_big(db, name, n=20_000, distributed_by="v"):
+    db.load_table(
+        name,
+        {"v": np.arange(n, dtype=np.int64), "w": np.arange(n, dtype=np.int64) + 1},
+        distributed_by=distributed_by,
+    )
+
+
+def test_hash64_is_deterministic_and_mixing():
+    values = np.arange(1000, dtype=np.int64)
+    h1 = hash64(values)
+    h2 = hash64(values)
+    assert np.array_equal(h1, h2)
+    # Consecutive inputs should land all over the 64-bit space.
+    assert len(set((h1 % np.uint64(16)).tolist())) == 16
+
+
+def test_segment_assignment_is_balanced():
+    cluster = Cluster(n_segments=8)
+    column = Column.from_values(np.arange(80_000, dtype=np.int64))
+    skew = cluster.skew(column)
+    assert skew < 1.05
+
+
+def test_skew_of_constant_column_is_maximal():
+    cluster = Cluster(n_segments=4)
+    column = Column.from_values(np.zeros(1000, dtype=np.int64))
+    assert cluster.skew(column) == pytest.approx(4.0)
+
+
+def test_single_segment_cluster_never_moves_data():
+    cluster = Cluster(n_segments=1)
+    plan = cluster.plan_motion(10_000, 10_000, colocated=False)
+    assert plan.kind == "colocated" and plan.moved_bytes == 0
+
+
+def test_plan_motion_rules():
+    cluster = Cluster(n_segments=4, broadcast_row_limit=100)
+    assert cluster.plan_motion(800, 50, colocated=False).kind == "broadcast"
+    assert cluster.plan_motion(800, 50, colocated=False).moved_bytes == 3200
+    assert cluster.plan_motion(9999, 5000, colocated=False).kind == "redistribute"
+    assert cluster.plan_motion(9999, 5000, colocated=True).kind == "colocated"
+
+
+def test_colocated_join_charges_no_motion():
+    db = Database(n_segments=4)
+    load_big(db, "a", distributed_by="v")
+    load_big(db, "b", distributed_by="v")
+    before = db.stats.motion_bytes
+    db.execute("select a.w from a, b where a.v = b.v")
+    assert db.stats.motion_bytes == before
+
+
+def test_mismatched_join_charges_motion():
+    db = Database(n_segments=4)
+    load_big(db, "a", distributed_by="v")
+    load_big(db, "b", distributed_by="w")  # joined on v -> must move
+    before = db.stats.motion_bytes
+    db.execute("select a.w from a, b where a.v = b.v")
+    assert db.stats.motion_bytes > before
+
+
+def test_small_table_broadcasts():
+    db = Database(n_segments=4, broadcast_row_limit=4096)
+    load_big(db, "a", distributed_by="v")
+    db.load_table("tiny", {"v": np.arange(10, dtype=np.int64),
+                           "x": np.arange(10, dtype=np.int64)},
+                  distributed_by="x")
+    db.execute("select a.w from a, tiny where a.v = tiny.v")
+    assert db.stats.broadcast_bytes > 0
+
+
+def test_group_by_on_distribution_key_is_colocated():
+    db = Database(n_segments=4)
+    load_big(db, "a", distributed_by="v")
+    before = db.stats.motion_bytes
+    db.execute("select v, count(*) from a group by v")
+    assert db.stats.motion_bytes == before
+
+
+def test_group_by_on_other_key_moves_data():
+    db = Database(n_segments=4)
+    load_big(db, "a", distributed_by="v")
+    before = db.stats.motion_bytes
+    db.execute("select w, count(*) from a group by w")
+    assert db.stats.motion_bytes > before
+
+
+def test_create_distributed_by_other_column_redistributes():
+    db = Database(n_segments=4)
+    load_big(db, "a", distributed_by="v")
+    before = db.stats.motion_bytes
+    db.execute("create table b as select v, w from a distributed by (w)")
+    assert db.stats.motion_bytes > before
+
+
+def test_bytes_written_accumulates_and_live_tracks_drops():
+    db = Database()
+    load_big(db, "a", n=1000)
+    created = db.stats.bytes_written
+    assert created == db.stats.live_bytes > 0
+    db.execute("create table b as select v, w from a")
+    assert db.stats.bytes_written > created
+    live_before_drop = db.stats.live_bytes
+    db.execute("drop table b")
+    assert db.stats.live_bytes < live_before_drop
+    # Written never decreases on drops (Table V semantics).
+    assert db.stats.bytes_written > created
+
+
+def test_peak_live_bytes_tracks_high_water_mark():
+    db = Database()
+    load_big(db, "a", n=1000)
+    db.execute("create table b as select v, w from a")
+    peak = db.stats.peak_live_bytes
+    db.execute("drop table b")
+    assert db.stats.peak_live_bytes == peak
+    assert db.stats.live_bytes < peak
+
+
+def test_reset_peak():
+    db = Database()
+    load_big(db, "a", n=1000)
+    db.execute("create table b as select v, w from a")
+    db.execute("drop table b")
+    db.stats.reset_peak()
+    assert db.stats.peak_live_bytes == db.stats.live_bytes
+
+
+def test_space_budget_enforced():
+    db = Database(space_budget_bytes=10_000)
+    with pytest.raises(SpaceBudgetExceeded):
+        load_big(db, "a", n=5000)
+
+
+def test_space_budget_allows_within_limit():
+    db = Database(space_budget_bytes=1_000_000)
+    load_big(db, "a", n=1000)
+
+
+def test_query_log_records_statements():
+    db = Database()
+    load_big(db, "a", n=100)
+    db.execute("select count(*) from a", label="my-count")
+    last = db.stats.log[-1]
+    assert last.label == "my-count"
+    assert last.rows == 1
+    assert last.elapsed_seconds >= 0
+
+
+def test_query_counter_increments():
+    db = Database()
+    db.execute("create table t (a int)")
+    before = db.stats.queries
+    db.execute("insert into t values (1)")
+    db.execute("select a from t")
+    assert db.stats.queries == before + 2
+
+
+def test_snapshot_delta():
+    db = Database()
+    load_big(db, "a", n=500)
+    before = db.stats.snapshot()
+    db.execute("create table b as select v, w from a")
+    delta = db.stats.snapshot().delta(before)
+    assert delta.queries == 1
+    assert delta.bytes_written == db.table("b").byte_size()
+
+
+def test_rows_written_counts_inserts():
+    db = Database()
+    db.execute("create table t (a int)")
+    before = db.stats.rows_written
+    db.execute("insert into t values (1), (2), (3)")
+    assert db.stats.rows_written == before + 3

@@ -1,0 +1,146 @@
+"""Property tests for the vectorised relational operator kernels."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.sqlengine.operators import (
+    NO_MATCH,
+    distinct_rows,
+    group_rows,
+    join_indices,
+    left_join_indices,
+)
+from repro.sqlengine.types import Column
+
+small_ints = st.integers(min_value=0, max_value=8)
+key_lists = st.lists(small_ints, min_size=0, max_size=30)
+
+
+def int_column(values, mask_positions=()):
+    values = np.asarray(list(values), dtype=np.int64)
+    mask = None
+    if mask_positions:
+        mask = np.zeros(values.shape[0], dtype=bool)
+        mask[list(mask_positions)] = True
+    return Column(values, "int64", mask)
+
+
+def brute_force_join(left, right):
+    return sorted(
+        (i, j)
+        for i, a in enumerate(left)
+        for j, b in enumerate(right)
+        if a == b
+    )
+
+
+@given(key_lists, key_lists)
+def test_join_matches_brute_force(left, right):
+    l_idx, r_idx = join_indices([int_column(left)], [int_column(right)])
+    assert sorted(zip(l_idx.tolist(), r_idx.tolist())) == brute_force_join(left, right)
+
+
+@given(key_lists, key_lists)
+def test_left_join_covers_every_left_row_exactly_right(left, right):
+    l_idx, r_idx = left_join_indices([int_column(left)], [int_column(right)])
+    right_set = set(right)
+    expected_rows = sum(
+        max(1, right.count(a)) if True else 0 for a in left
+    )
+    # Matched rows multiply, unmatched appear once with NO_MATCH.
+    expected = sum(right.count(a) if a in right_set else 1 for a in left)
+    assert l_idx.shape[0] == expected
+    unmatched = {i for i, a in enumerate(left) if a not in right_set}
+    got_unmatched = {int(l) for l, r in zip(l_idx, r_idx) if r == NO_MATCH}
+    assert got_unmatched == unmatched
+
+
+def test_join_empty_sides():
+    empty = int_column([])
+    filled = int_column([1, 2, 3])
+    for left, right in [(empty, filled), (filled, empty), (empty, empty)]:
+        l_idx, r_idx = join_indices([left], [right])
+        assert l_idx.shape[0] == 0 and r_idx.shape[0] == 0
+
+
+def test_null_keys_never_match():
+    left = int_column([1, 2, 3], mask_positions=[1])
+    right = int_column([2, 3], mask_positions=[0])
+    l_idx, r_idx = join_indices([left], [right])
+    assert list(zip(l_idx.tolist(), r_idx.tolist())) == [(2, 1)]
+
+
+def test_null_left_keys_survive_left_join():
+    left = int_column([1, 2], mask_positions=[0])
+    right = int_column([1, 2])
+    l_idx, r_idx = left_join_indices([left], [right])
+    pairs = dict(zip(l_idx.tolist(), r_idx.tolist()))
+    assert pairs[0] == NO_MATCH
+    assert pairs[1] == 1
+
+
+def test_multi_key_join():
+    left_a = int_column([1, 1, 2])
+    left_b = int_column([1, 2, 1])
+    right_a = int_column([1, 2])
+    right_b = int_column([2, 1])
+    l_idx, r_idx = join_indices([left_a, left_b], [right_a, right_b])
+    assert sorted(zip(l_idx.tolist(), r_idx.tolist())) == [(1, 0), (2, 1)]
+
+
+def test_many_to_many_join_multiplicity():
+    left = int_column([7, 7])
+    right = int_column([7, 7, 7])
+    l_idx, r_idx = join_indices([left], [right])
+    assert l_idx.shape[0] == 6
+
+
+@given(key_lists)
+def test_group_rows_partitions_input(keys):
+    column = int_column(keys)
+    order, starts = group_rows([column])
+    assert sorted(order.tolist()) == list(range(len(keys)))
+    # Every group is a run of equal keys.
+    values = column.values[order]
+    boundaries = set(starts.tolist())
+    for i in range(1, len(keys)):
+        if values[i] != values[i - 1]:
+            assert i in boundaries
+
+
+def test_group_rows_null_forms_single_group():
+    column = int_column([1, 5, 1], mask_positions=[1])
+    order, starts = group_rows([column])
+    assert starts.shape[0] == 2  # {1, 1} and {NULL}
+
+
+def test_group_rows_two_nulls_group_together():
+    column = int_column([7, 9], mask_positions=[0, 1])
+    _, starts = group_rows([column])
+    assert starts.shape[0] == 1
+
+
+def test_group_rows_empty():
+    order, starts = group_rows([int_column([])])
+    assert order.shape[0] == 0 and starts.shape[0] == 0
+
+
+@given(key_lists)
+def test_distinct_matches_python_set(keys):
+    column = int_column(keys)
+    kept = distinct_rows([column])
+    assert sorted(column.values[kept].tolist()) == sorted(set(keys))
+
+
+def test_distinct_multi_column():
+    a = int_column([1, 1, 2, 1])
+    b = int_column([1, 2, 1, 1])
+    kept = distinct_rows([a, b])
+    pairs = {(int(a.values[i]), int(b.values[i])) for i in kept.tolist()}
+    assert pairs == {(1, 1), (1, 2), (2, 1)}
+
+
+def test_distinct_treats_nulls_as_equal():
+    a = int_column([5, 5, 5], mask_positions=[0, 2])
+    kept = distinct_rows([a])
+    assert kept.shape[0] == 2  # one NULL row + one 5 row

@@ -1,0 +1,146 @@
+"""Tests for the randomisation-method hierarchy (Section V-C)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.ff.gf2_64 import MASK64
+from repro.ff.permutation import (
+    GF2_64_FIELD,
+    POINTWISE,
+    TABLE,
+    EncryptionMethod,
+    FiniteFieldMethod,
+    IdentityMethod,
+    PrimeFieldMethod,
+    RandomRealsMethod,
+    get_method,
+    gfp_field,
+    method_names,
+)
+
+
+def test_registry_contents():
+    assert set(method_names()) == {
+        "encryption", "finite-fields", "identity", "prime-field", "random-reals",
+    }
+
+
+def test_unknown_method_raises():
+    with pytest.raises(ValueError, match="unknown randomisation method"):
+        get_method("rot13")
+
+
+@pytest.mark.parametrize("name", ["finite-fields", "prime-field", "encryption",
+                                  "identity"])
+def test_pointwise_methods_declare_strategy(name):
+    assert get_method(name).strategy == POINTWISE
+
+
+def test_random_reals_is_table_strategy():
+    assert get_method("random-reals").strategy == TABLE
+
+
+@pytest.mark.parametrize("name", ["finite-fields", "prime-field", "encryption"])
+def test_rounds_are_injective(name):
+    method = get_method(name)
+    round_fn = method.new_round(random.Random(99))
+    xs = np.arange(5000, dtype=np.uint64)
+    out = round_fn.apply(xs)
+    assert len(set(np.asarray(out).tolist())) == 5000
+
+
+@pytest.mark.parametrize("name", ["finite-fields", "prime-field", "encryption",
+                                  "identity"])
+def test_scalar_matches_vector(name):
+    method = get_method(name)
+    round_fn = method.new_round(random.Random(5))
+    xs = np.array([0, 1, 7, 12345], dtype=np.uint64)
+    out = np.asarray(round_fn.apply(xs))
+    for i, x in enumerate(xs.tolist()):
+        assert int(out[i]) == round_fn.apply_scalar(x)
+
+
+def test_rounds_differ_between_draws():
+    method = FiniteFieldMethod()
+    rng = random.Random(0)
+    first = method.new_round(rng)
+    second = method.new_round(rng)
+    assert (first.a, first.b) != (second.a, second.b)
+
+
+def test_identity_round_is_identity():
+    round_fn = IdentityMethod().new_round(random.Random(0))
+    xs = np.array([3, 1, 4], dtype=np.uint64)
+    assert np.array_equal(round_fn.apply(xs), xs)
+    assert round_fn.sql_expr("v1") == "v1"
+
+
+def test_finite_field_sql_expr_shape():
+    round_fn = FiniteFieldMethod().new_round(random.Random(1))
+    expr = round_fn.sql_expr("v2")
+    assert expr.startswith("axplusb(")
+    assert ", v2, " in expr
+
+
+def test_prime_field_sql_expr_includes_modulus():
+    method = PrimeFieldMethod()
+    round_fn = method.new_round(random.Random(1))
+    assert round_fn.sql_expr("x").endswith(f", {method.p})")
+
+
+def test_encryption_sql_expr_shape():
+    round_fn = EncryptionMethod().new_round(random.Random(1))
+    assert round_fn.sql_expr("v1").startswith("blowfish(")
+
+
+def test_affine_metadata_present_only_for_affine_rounds():
+    assert FiniteFieldMethod().new_round(random.Random(0)).affine is not None
+    assert PrimeFieldMethod().new_round(random.Random(0)).affine is not None
+    assert IdentityMethod().new_round(random.Random(0)).affine == (1, 0, GF2_64_FIELD)
+    assert EncryptionMethod().new_round(random.Random(0)).affine is None
+
+
+def test_affine_sql_only_on_affine_methods():
+    assert hasattr(FiniteFieldMethod(), "affine_sql")
+    assert hasattr(PrimeFieldMethod(), "affine_sql")
+    assert hasattr(IdentityMethod(), "affine_sql")
+    assert not hasattr(EncryptionMethod(), "affine_sql")
+    assert not hasattr(RandomRealsMethod(), "affine_sql")
+
+
+def test_gf2_field_operations():
+    field = GF2_64_FIELD
+    assert field.mul(field.one, 12345) == 12345
+    assert field.add(5, 5) == 0  # XOR
+    assert field.add(0, 9) == 9
+    assert field.mul(2, 1 << 63) == 0x1B  # reduction kicks in
+
+
+def test_gfp_field_operations():
+    field = gfp_field(17)
+    assert field.mul(5, 7) == 35 % 17
+    assert field.add(16, 3) == 2
+
+
+def test_random_reals_memoises_within_round():
+    round_fn = RandomRealsMethod().new_round(random.Random(3))
+    a = round_fn.apply(np.array([10, 20, 10], dtype=np.uint64))
+    assert a[0] == a[2]
+    assert a[0] != a[1]
+    again = round_fn.apply_scalar(10)
+    assert again == pytest.approx(float(a[0]))
+
+
+def test_random_reals_values_in_unit_interval():
+    round_fn = RandomRealsMethod().new_round(random.Random(3))
+    values = round_fn.values_for(np.arange(1000, dtype=np.int64))
+    assert values.min() >= 0.0
+    assert values.max() < 1.0
+
+
+def test_finite_field_round_a_never_zero():
+    method = FiniteFieldMethod()
+    for seed in range(50):
+        assert method.new_round(random.Random(seed)).a != 0

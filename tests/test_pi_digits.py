@@ -1,0 +1,55 @@
+"""Tests for the in-repo computation of pi's hexadecimal digits."""
+
+import pytest
+
+from repro.ff.pi_digits import pi_fractional_hex_digits, pi_words
+
+
+def test_first_hex_digits_match_known_expansion():
+    # pi = 3.243F6A8885A308D313198A2E03707344...
+    known = [0x2, 0x4, 0x3, 0xF, 0x6, 0xA, 0x8, 0x8, 0x8, 0x5,
+             0xA, 0x3, 0x0, 0x8, 0xD, 0x3]
+    assert pi_fractional_hex_digits(16) == known
+
+
+def test_known_blowfish_p_array_words():
+    words = pi_words(4)
+    assert words[0] == 0x243F6A88
+    assert words[1] == 0x85A308D3
+    assert words[2] == 0x13198A2E
+    assert words[3] == 0x03707344
+
+
+def test_known_first_s_box_word():
+    # S-box 0 starts at word 18 of the expansion: 0xD1310BA6.
+    words = pi_words(19)
+    assert words[18] == 0xD1310BA6
+
+
+def test_digit_count_matches_request():
+    assert len(pi_fractional_hex_digits(100)) == 100
+
+
+def test_digits_are_in_range():
+    assert all(0 <= d <= 15 for d in pi_fractional_hex_digits(64))
+
+
+def test_longer_prefix_extends_shorter_prefix():
+    short = pi_fractional_hex_digits(32)
+    long = pi_fractional_hex_digits(64)
+    assert long[:32] == short
+
+
+def test_word_packing_is_big_endian():
+    digits = pi_fractional_hex_digits(8)
+    value = 0
+    for d in digits:
+        value = (value << 4) | d
+    assert pi_words(1)[0] == value
+
+
+def test_rejects_non_positive_digit_counts():
+    with pytest.raises(ValueError):
+        pi_fractional_hex_digits(0)
+    with pytest.raises(ValueError):
+        pi_fractional_hex_digits(-3)

@@ -1,0 +1,182 @@
+"""Tests for Randomised Contraction — the paper's algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import connected_components
+from repro.core import RandomisedContraction, register_udfs
+from repro.core.labels import validate_labelling
+from repro.graphs import EdgeList, load_edges_into, path_graph
+from repro.sqlengine import Database
+
+from .conftest import FIGURE1_EDGES, edge_lists
+
+ALL_CONFIGS = [
+    ("finite-fields", "fast"),
+    ("finite-fields", "deterministic-space"),
+    ("prime-field", "fast"),
+    ("prime-field", "deterministic-space"),
+    ("encryption", "deterministic-space"),
+    ("random-reals", "deterministic-space"),
+    ("identity", "fast"),
+]
+
+
+@pytest.mark.parametrize("method,variant", ALL_CONFIGS)
+def test_figure1_graph_all_configurations(method, variant):
+    edges = EdgeList.from_pairs(FIGURE1_EDGES)
+    algo = RandomisedContraction(method=method, variant=variant)
+    result = connected_components(edges, algo, seed=3, validate=True)
+    assert result.n_components == 2
+    # {2, 4, 9} is the small component of Figure 1's example graph.
+    components = sorted(result.components().values(), key=len)
+    assert components[0] == [2, 4, 9]
+    assert components[1] == [1, 3, 5, 6, 7, 8, 10]
+
+
+@given(edge_lists())
+@settings(max_examples=20)
+def test_random_graphs_fast_variant(edges):
+    connected_components(edges, "rc", seed=1, validate=True)
+
+
+@given(edge_lists(max_vertices=14, max_edges=20))
+@settings(max_examples=10)
+def test_random_graphs_deterministic_space(edges):
+    algo = RandomisedContraction(variant="deterministic-space")
+    connected_components(edges, algo, seed=1, validate=True)
+
+
+@given(edge_lists(max_vertices=12, max_edges=16))
+@settings(max_examples=8)
+def test_random_graphs_random_reals(edges):
+    algo = RandomisedContraction(method="random-reals",
+                                 variant="deterministic-space")
+    connected_components(edges, algo, seed=1, validate=True)
+
+
+def test_figure1_representative_table_matches_paper():
+    """With h = identity, round 1 must reproduce Figure 1(c) exactly."""
+    db = Database()
+    register_udfs(db)
+    load_edges_into(db, "g", EdgeList.from_pairs(FIGURE1_EDGES))
+    db.execute(
+        "create table e as select v1, v2 from g union all "
+        "select v2, v1 from g distributed by (v1)"
+    )
+    reps = dict(db.execute(
+        "select v1 v, least(axplusb(1, v1, 0), min(axplusb(1, v2, 0))) rep "
+        "from e group by v1"
+    ).rows())
+    assert reps == {1: 1, 2: 2, 3: 3, 4: 2, 5: 1, 6: 5, 7: 5, 8: 3, 9: 2, 10: 1}
+
+
+def test_identity_on_sequential_path_is_worst_case():
+    """Figure 2(a): deterministic min-contraction takes n - 1 rounds."""
+    n = 24
+    algo = RandomisedContraction(method="identity")
+    result = connected_components(path_graph(n), algo, seed=0, validate=True)
+    assert result.run.rounds == n - 1
+
+
+def test_randomisation_beats_worst_case():
+    """Section V-B: randomising escapes the linear-round worst case."""
+    n = 256
+    result = connected_components(path_graph(n), "rc", seed=5, validate=True)
+    assert result.run.rounds <= 3 * math.log2(n)
+
+
+def test_rounds_grow_logarithmically():
+    rounds = []
+    for n in (64, 512, 4096):
+        result = connected_components(path_graph(n), "rc", seed=9)
+        rounds.append(result.run.rounds)
+    # Quadrupling n adds only a few rounds.
+    assert rounds[1] - rounds[0] <= 5
+    assert rounds[2] - rounds[1] <= 5
+
+
+def test_fast_variant_rejects_encryption():
+    with pytest.raises(ValueError, match="not affine"):
+        RandomisedContraction(method="encryption", variant="fast")
+
+
+def test_fast_variant_rejects_table_methods():
+    with pytest.raises(ValueError, match="pointwise"):
+        RandomisedContraction(method="random-reals", variant="fast")
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ValueError, match="variant"):
+        RandomisedContraction(variant="turbo")
+
+
+def test_loop_edges_label_isolated_vertices():
+    edges = EdgeList.from_pairs([(1, 1), (2, 3), (7, 7)])
+    result = connected_components(edges, "rc", seed=2, validate=True)
+    assert result.n_components == 3
+    by_vertex = result.labels_by_vertex
+    assert by_vertex[2] == by_vertex[3]
+    assert by_vertex[1] != by_vertex[7]
+
+
+def test_single_loop_vertex():
+    result = connected_components(EdgeList.from_pairs([(5, 5)]), "rc", seed=2)
+    assert result.n_components == 1
+    assert result.vertices.tolist() == [5]
+
+
+def test_reproducible_with_seed():
+    edges = path_graph(100)
+    a = connected_components(edges, "rc", seed=42)
+    b = connected_components(edges, "rc", seed=42)
+    assert a.run.rounds == b.run.rounds
+    assert np.array_equal(a.labels, b.labels)
+
+
+def test_temp_tables_cleaned_up():
+    db = Database()
+    edges = path_graph(50)
+    connected_components(edges, "rc", seed=1, db=db)
+    leftovers = [n for n in db.table_names()
+                 if n.startswith("cc") and n not in ("ccinput", "ccresult")]
+    assert leftovers == []
+
+
+def test_contraction_shrinks_edge_table_each_round():
+    """The scalability property: the edge table decreases every round."""
+    db = Database()
+    edges = path_graph(2000)
+    connected_components(edges, "rc", seed=7, db=db)
+    sizes = [record.rows for record in db.stats.log
+             if record.label.endswith(":contract")]
+    assert all(b < a for a, b in zip(sizes, sizes[1:]))
+    assert sizes[-1] == 0
+
+
+def test_negative_and_large_vertex_ids():
+    """GF(2^64) treats IDs as raw 64-bit values; negatives must work."""
+    edges = EdgeList.from_pairs(
+        [(-5, 3), (3, (1 << 62)), (-5, -9), (100, 200)]
+    )
+    result = connected_components(edges, "rc", seed=4, validate=True)
+    assert result.n_components == 2
+
+
+def test_prime_field_rejects_ids_outside_field():
+    from repro.sqlengine.errors import SqlError
+
+    edges = EdgeList.from_pairs([(1, 1 << 40)])
+    algo = RandomisedContraction(method="prime-field")
+    with pytest.raises((ValueError, SqlError)):
+        connected_components(edges, algo, seed=1)
+
+
+def test_query_count_is_linear_in_rounds():
+    result = connected_components(path_graph(300), "rc", seed=8)
+    rounds = result.run.rounds
+    # Fast variant: setup + 5/round forward + ~3/round backward + 2 final.
+    assert result.run.sql_queries <= 9 * rounds + 4

@@ -1,0 +1,152 @@
+"""Tests for the contraction-factor theory (Thm 1, Lemma 1, Appendix B)."""
+
+import random
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.contraction_theory import (
+    appendix_b_bound,
+    directed_three_cycle_gamma,
+    exact_expected_gamma,
+    lemma1_counts,
+    monte_carlo_gamma,
+    one_round_surviving_fraction,
+    representatives_under_labelling,
+    theorem1_bound,
+    type_census,
+)
+from repro.graphs import EdgeList, cycle_graph, gnm_random_graph, path_graph
+
+
+def test_directed_three_cycle_attains_two_thirds():
+    """Appendix B, Theorem 2: the bound gamma <= 2/3 is tight for the
+    directed 3-cycle."""
+    assert directed_three_cycle_gamma() == Fraction(2, 3)
+    assert directed_three_cycle_gamma() == appendix_b_bound()
+
+
+def test_bounds_are_the_paper_constants():
+    assert theorem1_bound() == Fraction(3, 4)
+    assert appendix_b_bound() == Fraction(2, 3)
+
+
+@pytest.mark.parametrize("n,edges", [
+    (2, [(0, 1)]),                              # single edge
+    (3, [(0, 1), (1, 2)]),                      # path
+    (4, [(0, 1), (1, 2), (2, 3), (3, 0)]),      # 4-cycle
+    (4, [(0, 1), (0, 2), (0, 3)]),              # star
+    (5, [(0, 1), (1, 2), (2, 3), (3, 4)]),      # longer path
+])
+def test_exact_gamma_respects_appendix_b_bound(n, edges):
+    """Undirected graphs under full randomisation: gamma <= 2/3."""
+    gamma = exact_expected_gamma(n, edges, directed=False)
+    assert gamma <= Fraction(2, 3)
+
+
+def test_exact_gamma_of_single_edge():
+    # Both vertices always pick the same representative: gamma = 1/2.
+    assert exact_expected_gamma(2, [(0, 1)]) == Fraction(1, 2)
+
+
+def test_exact_gamma_of_triangle():
+    # Everyone picks the unique minimum: gamma = 1/3.
+    assert exact_expected_gamma(3, [(0, 1), (1, 2), (0, 2)]) == Fraction(1, 3)
+
+
+def test_exact_enumeration_rejects_large_graphs():
+    with pytest.raises(ValueError, match="factorial"):
+        exact_expected_gamma(11, [(0, 1)])
+
+
+def test_representatives_under_labelling_basic():
+    # Path 0-1-2 with identity labels: everyone picks the smaller neighbour.
+    neighbourhoods = [[0, 1], [0, 1, 2], [1, 2]]
+    chosen = representatives_under_labelling(neighbourhoods, [0, 1, 2])
+    assert chosen == {0, 1}
+
+
+def test_type_census_sums_to_n():
+    neighbourhoods = [[0, 1], [0, 1, 2], [1, 2]]
+    t0, t1, t2 = type_census(neighbourhoods, [2, 0, 1])
+    assert t0 + t1 + t2 == 3
+
+
+def test_lemma1_on_directed_cycle():
+    """Lemma 1: #labellings making v type 1 <= #makings type 0."""
+    arcs = [(0, 1), (1, 2), (2, 0)]
+    for v in range(3):
+        type1, type0 = lemma1_counts(3, arcs, v)
+        assert type1 <= type0
+
+
+def test_lemma1_on_assorted_digraphs():
+    digraphs = [
+        (4, [(0, 1), (1, 2), (2, 3), (3, 0)]),
+        (4, [(0, 1), (1, 0), (2, 1), (3, 1)]),
+        (5, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3)]),
+    ]
+    for n, arcs in digraphs:
+        out_degree = {a for a, _ in arcs}
+        for v in range(n):
+            if v not in out_degree:
+                continue
+            type1, type0 = lemma1_counts(n, arcs, v)
+            assert type1 <= type0, (n, arcs, v)
+
+
+def test_lemma1_requires_nonempty_out_neighbourhood():
+    with pytest.raises(ValueError):
+        lemma1_counts(3, [(0, 1)], 2)
+
+
+@pytest.mark.parametrize("method", ["finite-fields", "encryption",
+                                    "prime-field"])
+def test_monte_carlo_gamma_obeys_theorem1(method):
+    """Theorem 1: E[surviving fraction] <= 3/4 for h-based methods."""
+    edges = gnm_random_graph(120, 200, np.random.default_rng(0))
+    mean, stderr = monte_carlo_gamma(edges, method, rounds=24, seed=1)
+    assert mean <= 0.75 + 3 * stderr + 0.02
+
+
+def test_monte_carlo_gamma_random_reals_obeys_appendix_b():
+    """Full randomisation: E[surviving fraction] <= 2/3."""
+    edges = cycle_graph(300)
+    mean, stderr = monte_carlo_gamma(edges, "random-reals", rounds=24, seed=1)
+    assert mean <= 2 / 3 + 3 * stderr + 0.02
+
+
+def test_identity_on_sequential_path_survives_n_minus_one():
+    """Figure 2(a): deterministic contraction keeps n-1 of n vertices."""
+    edges = path_graph(50)
+    fraction = one_round_surviving_fraction(edges, "identity", random.Random(0))
+    assert fraction == pytest.approx(49 / 50)
+
+
+def test_optimal_path_labelling_contracts_to_one_third():
+    """Figure 2(b): the path 3-1-4-5-2-6 contracts to 2 of 6 vertices."""
+    edges = EdgeList.from_pairs([(3, 1), (1, 4), (4, 5), (5, 2), (2, 6)])
+    fraction = one_round_surviving_fraction(edges, "identity", random.Random(0))
+    assert fraction == pytest.approx(2 / 6)
+
+
+def test_one_round_fraction_rejects_empty_graph():
+    with pytest.raises(ValueError):
+        one_round_surviving_fraction(EdgeList.empty(), "identity",
+                                     random.Random(0))
+
+
+def test_expected_log_rounds_follow_from_gamma():
+    """Section VI: gamma^k |V| <= eps gives k = O(log |V|); check the
+    measured round counts against the bound with gamma = 3/4."""
+    import math
+
+    from repro import connected_components
+
+    for n in (128, 1024):
+        edges = path_graph(n)
+        result = connected_components(edges, "rc", seed=3)
+        epsilon = 0.05
+        bound = math.log(epsilon / n) / math.log(0.75)
+        assert result.run.rounds <= bound

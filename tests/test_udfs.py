@@ -1,0 +1,90 @@
+"""Tests for the user-defined SQL functions (axplusb, axbmodp, blowfish)."""
+
+import numpy as np
+import pytest
+
+from repro.core.udfs import register_udfs
+from repro.ff.blowfish import Blowfish
+from repro.ff.gf2_64 import gf2_axplusb, to_signed
+from repro.sqlengine import Database
+from repro.sqlengine.errors import SqlError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    register_udfs(database)
+    database.execute("create table t (x int)")
+    database.execute("insert into t values (0), (1), (7), (12345), (-3)")
+    return database
+
+
+def test_axplusb_matches_reference(db):
+    a, b = 0x123456789ABCDEF1, 0x42
+    rows = db.execute(
+        f"select x, axplusb({to_signed(a)}, x, {to_signed(b)}) from t"
+    ).rows()
+    for x, result in rows:
+        assert result == to_signed(gf2_axplusb(a, x, b))
+
+
+def test_axplusb_identity(db):
+    rows = db.execute("select x, axplusb(1, x, 0) from t").rows()
+    for x, result in rows:
+        assert result == x
+
+
+def test_axplusb_rejects_zero_a(db):
+    with pytest.raises(SqlError, match="bijection"):
+        db.execute("select axplusb(0, x, 5) from t")
+
+
+def test_axbmodp(db):
+    rows = db.execute("select x, axbmodp(3, x, 4, 2147483647) from t where x >= 0").rows()
+    for x, result in rows:
+        assert result == (3 * x + 4) % 2147483647
+
+
+def test_blowfish_matches_cipher(db):
+    cipher = Blowfish.from_round_key(99)
+    rows = db.execute("select x, blowfish(99, x) from t where x >= 0").rows()
+    for x, result in rows:
+        assert result == to_signed(cipher.encrypt_block(x))
+
+
+def test_udfs_propagate_nulls(db):
+    db.execute("insert into t values (null)")
+    rows = db.execute("select x, axplusb(7, x, 1) from t where x is null").rows()
+    assert rows[0][1] is None
+
+
+def test_udf_on_scalar_literal(db):
+    value = db.execute("select axplusb(1, 41, 1)").scalar()
+    assert value == gf2_axplusb(1, 41, 1)
+
+
+def test_registration_is_idempotent(db):
+    register_udfs(db)
+    assert db.execute("select axplusb(1, 5, 0)").scalar() == 5
+
+
+def test_custom_udf_registration():
+    db = Database()
+
+    def double_plus(x, k):
+        return np.asarray(x) * 2 + k
+
+    db.create_function("double_plus", double_plus)
+    db.execute("create table t (x int)")
+    db.execute("insert into t values (5), (10)")
+    rows = db.execute("select double_plus(x, 1) from t").rows()
+    assert [r[0] for r in rows] == [11, 21]
+
+
+def test_udf_wrong_row_count_rejected():
+    db = Database()
+    db.create_function("broken", lambda x: np.array([1, 2, 3]))
+    db.execute("create table t (x int)")
+    db.execute("insert into t values (5)")
+    with pytest.raises(SqlError, match="rows"):
+        db.execute("select broken(x) from t")

@@ -1,0 +1,131 @@
+"""Tests for ground truth (union-find, scipy) and labelling validation."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.labels import validate_labelling
+from repro.core.unionfind import (
+    UnionFind,
+    count_components,
+    ground_truth_labels,
+    unionfind_labels,
+)
+from repro.graphs import EdgeList
+
+from .conftest import edge_lists
+
+
+def test_unionfind_basic():
+    uf = UnionFind()
+    uf.union(1, 2)
+    uf.union(3, 4)
+    assert uf.connected(1, 2)
+    assert not uf.connected(1, 3)
+    uf.union(2, 3)
+    assert uf.connected(1, 4)
+
+
+def test_unionfind_find_creates_singletons():
+    uf = UnionFind()
+    assert uf.find(9) == 9
+    assert uf.components() == {9: [9]}
+
+
+def test_unionfind_labels_are_minima():
+    uf = UnionFind()
+    uf.union(5, 3)
+    uf.union(3, 8)
+    assert uf.labels() == {3: 3, 5: 3, 8: 3}
+
+
+@given(edge_lists())
+def test_unionfind_agrees_with_scipy(edges):
+    vertices, labels = ground_truth_labels(edges)
+    by_vertex = dict(zip(vertices.tolist(), labels.tolist()))
+    assert unionfind_labels(edges) == by_vertex
+
+
+@given(edge_lists())
+def test_ground_truth_agrees_with_networkx(edges):
+    graph = nx.Graph()
+    graph.add_edges_from(zip(edges.src.tolist(), edges.dst.tolist()))
+    expected = {min(c): set(c) for c in nx.connected_components(graph)}
+    vertices, labels = ground_truth_labels(edges)
+    got: dict[int, set] = {}
+    for vertex, label in zip(vertices.tolist(), labels.tolist()):
+        got.setdefault(label, set()).add(vertex)
+    assert got == expected
+
+
+def test_count_components_counts_loops_as_singletons():
+    edges = EdgeList.from_pairs([(1, 2), (9, 9)])
+    assert count_components(edges) == 2
+
+
+def test_count_components_empty():
+    assert count_components(EdgeList.empty()) == 0
+
+
+# -- validation ---------------------------------------------------------
+
+
+def fig1_truth():
+    edges = EdgeList.from_pairs(
+        [(1, 5), (1, 10), (2, 4), (2, 9), (3, 8), (3, 10), (4, 9), (5, 6),
+         (5, 7), (6, 10)]
+    )
+    return edges, *ground_truth_labels(edges)
+
+
+def test_validation_accepts_ground_truth():
+    edges, vertices, labels = fig1_truth()
+    assert validate_labelling(edges, vertices, labels).valid
+
+
+def test_validation_accepts_arbitrary_relabelling():
+    edges, vertices, labels = fig1_truth()
+    shifted = labels * 1_000_003 + 17  # labels need not be vertex IDs
+    assert validate_labelling(edges, vertices, shifted).valid
+
+
+def test_validation_rejects_split_component():
+    edges, vertices, labels = fig1_truth()
+    bad = labels.copy()
+    bad[vertices == 7] = 999  # vertex 7 split off its component
+    report = validate_labelling(edges, vertices, bad)
+    assert not report.valid
+    assert "edge" in report.reason
+
+
+def test_validation_rejects_merged_components():
+    edges, vertices, labels = fig1_truth()
+    merged = np.zeros_like(labels)  # everything one label
+    report = validate_labelling(edges, vertices, merged)
+    assert not report.valid
+    assert "distinct labels" in report.reason
+
+
+def test_validation_rejects_missing_vertex():
+    edges, vertices, labels = fig1_truth()
+    report = validate_labelling(edges, vertices[:-1], labels[:-1])
+    assert not report.valid
+    assert "vertex set" in report.reason
+
+
+def test_validation_rejects_extra_vertex():
+    edges, vertices, labels = fig1_truth()
+    report = validate_labelling(
+        edges,
+        np.append(vertices, 999),
+        np.append(labels, 999),
+    )
+    assert not report.valid
+
+
+def test_validation_rejects_length_mismatch():
+    edges, vertices, labels = fig1_truth()
+    report = validate_labelling(edges, vertices, labels[:-1])
+    assert not report.valid
+    assert "length" in report.reason
