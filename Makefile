@@ -1,0 +1,31 @@
+# Development entry points. The engine lives under src/, so every target
+# exports PYTHONPATH rather than requiring an editable install.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-unit bench bench-quick bench-engine clean
+
+## tier-1: the full unit + benchmark collection, fail-fast
+test:
+	$(PYTHON) -m pytest -x -q
+
+## unit tests only — no timing-threshold benchmarks, safe for noisy CI runners
+test-unit:
+	$(PYTHON) -m pytest -x -q tests/
+
+## the complete paper-reproduction benchmark grid (Tables III-V, figures)
+bench:
+	$(PYTHON) -m pytest -q benchmarks/
+
+## a fast benchmark smoke pass at reduced scale
+bench-quick:
+	REPRO_SCALE=0.1 $(PYTHON) -m pytest -q benchmarks/ -k "engine or table3"
+
+## engine kernel/cache micro-benchmarks only (writes BENCH_engine.json)
+bench-engine:
+	$(PYTHON) -m pytest -q benchmarks/test_bench_engine_microbench.py
+
+clean:
+	rm -rf benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,199 @@
+"""E-ENG — engine micro-benchmarks: hash kernels, index cache, plan cache.
+
+Not a paper table: this bench tracks the *engine's* performance trajectory
+across PRs.  It measures the hash/dictionary kernels against the seed
+sort-merge reference on synthetic single-column ``int64`` keys (the
+dominant shape of every reproduced algorithm), the value of the table
+index cache on repeated joins, the plan-cache hit rate over a Randomised
+Contraction run, and the end-to-end effect with all caches on vs. off.
+
+Results land in ``benchmarks/results/BENCH_engine.json`` (ops/sec per
+kernel and size) so successive PRs can diff engine throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import RandomisedContraction
+from repro.graphs import gnm_random_graph
+from repro.graphs.io import load_edges_into
+from repro.sqlengine import Database
+from repro.sqlengine.operators import (
+    build_key_index,
+    distinct_rows,
+    join_indices,
+    merge_join_indices,
+    sorted_group_rows,
+)
+from repro.sqlengine.parser import parse_statement
+from repro.sqlengine.types import Column
+
+from .conftest import emit
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SIZES = [10_000, 100_000, 1_000_000]
+REPS = 3
+
+
+def best_of(fn, reps: int = REPS) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def reference_distinct(columns):
+    """The seed DISTINCT: lexsort-based grouping, first row per group."""
+    order, starts = sorted_group_rows(columns)
+    return order[starts] if order.size else order
+
+
+def test_engine_microbench():
+    rng = np.random.default_rng(20200420)
+    report: dict = {"sizes": {}, "asserted": {}}
+
+    for n in SIZES:
+        # -- joins: probe n edge endpoints against n unique vertex ids ----
+        dense_build = Column(rng.permutation(n).astype(np.int64), "int64")
+        dense_probe = Column(rng.integers(0, n, n).astype(np.int64), "int64")
+        sparse_values = rng.integers(0, 2 ** 62, n).astype(np.int64)
+        sparse_build = Column(sparse_values, "int64")
+        sparse_probe = Column(sparse_values[rng.integers(0, n, n)], "int64")
+        sparse_index = build_key_index(sparse_build.values)
+
+        t_seed_dense = best_of(
+            lambda: merge_join_indices([dense_probe], [dense_build]))
+        t_hash_dense = best_of(
+            lambda: join_indices([dense_probe], [dense_build]))
+        t_seed_sparse = best_of(
+            lambda: merge_join_indices([sparse_probe], [sparse_build]))
+        t_indexed_sparse = best_of(
+            lambda: join_indices([sparse_probe], [sparse_build],
+                                 right_index=sparse_index))
+
+        # -- distinct over a dense key column with duplicates -------------
+        distinct_input = Column(
+            rng.integers(0, max(n // 3, 1), n).astype(np.int64), "int64")
+        t_seed_distinct = best_of(lambda: reference_distinct([distinct_input]))
+        t_hash_distinct = best_of(lambda: distinct_rows([distinct_input]))
+
+        report["sizes"][n] = {
+            "join_dense": {
+                "seed_s": t_seed_dense, "hash_s": t_hash_dense,
+                "speedup": t_seed_dense / t_hash_dense,
+                "hash_rows_per_s": n / t_hash_dense,
+            },
+            "join_sparse_indexed": {
+                "seed_s": t_seed_sparse, "hash_s": t_indexed_sparse,
+                "speedup": t_seed_sparse / t_indexed_sparse,
+                "hash_rows_per_s": n / t_indexed_sparse,
+            },
+            "distinct_dense": {
+                "seed_s": t_seed_distinct, "hash_s": t_hash_distinct,
+                "speedup": t_seed_distinct / t_hash_distinct,
+                "hash_rows_per_s": n / t_hash_distinct,
+            },
+        }
+
+    # Correctness spot-check at the largest size (full property coverage
+    # lives in tests/test_operators.py).
+    n = SIZES[-1]
+    a = merge_join_indices([dense_probe], [dense_build])
+    b = join_indices([dense_probe], [dense_build])
+    assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+    assert np.array_equal(reference_distinct([distinct_input]),
+                          distinct_rows([distinct_input]))
+
+    # -- acceptance: >= 2x on the 1e6 single-column int64 kernels ---------
+    at_1m = report["sizes"][SIZES[-1]]
+    report["asserted"] = {
+        "join_dense_speedup_1m": at_1m["join_dense"]["speedup"],
+        "join_sparse_indexed_speedup_1m":
+            at_1m["join_sparse_indexed"]["speedup"],
+        "distinct_dense_speedup_1m": at_1m["distinct_dense"]["speedup"],
+    }
+    assert at_1m["join_dense"]["speedup"] >= 2.0
+    assert at_1m["distinct_dense"]["speedup"] >= 2.0
+    assert at_1m["join_sparse_indexed"]["speedup"] >= 1.5
+
+    # -- plan cache: parse cost amortisation ------------------------------
+    db = Database()
+    db.execute("create table g1 (v1 int64, v2 int64)")
+    db.execute("insert into g1 values (1, 2), (2, 3)")
+    statement = ("select v1, count(*) c from g1 where v1 != 0 "
+                 "group by v1")
+    n_statements = 500
+    t_parse_every_time = best_of(
+        lambda: [parse_statement(statement) for _ in range(n_statements)], 1)
+    before = db.stats.snapshot()
+    started = time.perf_counter()
+    for _ in range(n_statements):
+        db.execute(statement)
+    t_cached_execute = time.perf_counter() - started
+    delta = db.stats.snapshot().delta(before)
+    hit_rate = delta.plan_cache_hits / max(delta.queries, 1)
+    report["plan_cache"] = {
+        "statements": n_statements,
+        "hit_rate": hit_rate,
+        "parse_only_s": t_parse_every_time,
+        "cached_execute_s": t_cached_execute,
+    }
+    assert hit_rate > 0.99
+
+    # -- end-to-end: Randomised Contraction with and without caches -------
+    edges = gnm_random_graph(60_000, 110_000, np.random.default_rng(3))
+
+    def run_rc(use_caches: bool):
+        rc_db = Database(n_segments=4, use_plan_cache=use_caches,
+                         use_index_cache=use_caches)
+        load_edges_into(rc_db, "edges", edges)
+        started = time.perf_counter()
+        result = RandomisedContraction().run(rc_db, "edges", seed=99)
+        elapsed = time.perf_counter() - started
+        vertices, labels = result.labels(rc_db)
+        order = np.argsort(vertices, kind="stable")
+        return elapsed, vertices[order], labels[order], result.stats
+
+    t_on, v_on, l_on, stats_on = run_rc(True)
+    t_off, v_off, l_off, _ = run_rc(False)
+    assert np.array_equal(v_on, v_off) and np.array_equal(l_on, l_off)
+    report["end_to_end_rc"] = {
+        "n_vertices": 60_000,
+        "n_edges": 110_000,
+        "caches_on_s": t_on,
+        "caches_off_s": t_off,
+        "speedup": t_off / t_on,
+        "plan_cache_hits": stats_on.plan_cache_hits,
+        "index_cache_hits": stats_on.index_cache_hits,
+    }
+    # Identical output is a hard guarantee; the wall-clock advantage is
+    # asserted with slack for machine noise and reported exactly.
+    assert t_on <= t_off * 1.10
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_engine.json").write_text(
+        json.dumps(report, indent=2, default=float) + "\n")
+
+    lines = ["ENGINE MICRO-BENCHMARKS (hash kernels vs seed sort-merge)", ""]
+    for n, kernels in report["sizes"].items():
+        for name, r in kernels.items():
+            lines.append(
+                f"  {name:<22s} n={n:>9,}  seed {r['seed_s'] * 1e3:8.2f} ms"
+                f"  hash {r['hash_s'] * 1e3:8.2f} ms  speedup {r['speedup']:6.1f}x"
+            )
+    lines += [
+        "",
+        f"  plan cache hit rate      : {report['plan_cache']['hit_rate']:.3f}"
+        f" over {n_statements} statements",
+        f"  end-to-end RC (60k/110k) : {t_off:.3f}s -> {t_on:.3f}s "
+        f"({report['end_to_end_rc']['speedup']:.2f}x, identical labels)",
+    ]
+    emit("BENCH_engine", "\n".join(lines))

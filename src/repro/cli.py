@@ -15,6 +15,10 @@ Commands
     Run the Table III/IV/V measurement grid for chosen datasets and
     algorithms and print the paper-style tables.
 
+``sql``
+    Ad-hoc SQL over a dataset loaded as ``edges(v1, v2)``, with engine
+    cache statistics printed after the run.
+
 ``gamma``
     Monte-Carlo contraction-factor measurement (Theorem 1 / Appendix B)
     for a dataset under a randomisation method.
@@ -120,6 +124,86 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_statements(sql: str) -> list[str]:
+    """Split on ';' outside string literals and comments.
+
+    Mirrors the engine lexer's surface: single-quoted strings ('' escapes
+    toggle twice, which this scanner handles naturally), ``--`` line
+    comments, and ``/* */`` block comments.
+    """
+    statements: list[str] = []
+    current: list[str] = []
+    i, n = 0, len(sql)
+    in_string = in_line_comment = in_block_comment = False
+    while i < n:
+        ch = sql[i]
+        if in_line_comment:
+            in_line_comment = ch != "\n"
+        elif in_block_comment:
+            if sql.startswith("*/", i):
+                current.append("*/")
+                i += 2
+                in_block_comment = False
+                continue
+        elif in_string:
+            in_string = ch != "'"
+        elif ch == "'":
+            in_string = True
+        elif sql.startswith("--", i):
+            in_line_comment = True
+        elif sql.startswith("/*", i):
+            # Consume both opener chars so "/*/" does not self-close.
+            in_block_comment = True
+            current.append("/*")
+            i += 2
+            continue
+        elif ch == ";":
+            statements.append("".join(current))
+            current = []
+            i += 1
+            continue
+        current.append(ch)
+        i += 1
+    statements.append("".join(current))
+    return [s for s in statements if s.strip()]
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    """Ad-hoc SQL over a dataset loaded as table ``edges(v1, v2)``."""
+    from .graphs.io import load_edges_into
+    from .sqlengine import Database
+    from .sqlengine.errors import SqlError
+
+    edges = _load_graph(args.graph, args.scale)
+    db = Database()
+    load_edges_into(db, "edges", edges)
+    db.stats.reset()
+    for statement in _split_statements(args.sql):
+        try:
+            result = db.execute(statement)
+        except SqlError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if result._relation is None:
+            print(f"({result.rowcount} row(s) affected)")
+            continue
+        relation = result.relation
+        # Materialise only the rows being shown.
+        shown = result.rows(limit=args.max_rows)
+        print("  ".join(relation.display_names))
+        for row in shown:
+            print("  ".join(str(v) for v in row))
+        if relation.n_rows > len(shown):
+            print(f"... ({relation.n_rows:,} rows total, "
+                  f"showing {len(shown)})")
+    stats = db.stats
+    print(f"-- {stats.queries} queries, "
+          f"plan cache {stats.plan_cache_hits}/{stats.plan_cache_hits + stats.plan_cache_misses} hit, "
+          f"index cache {stats.index_cache_hits} hits, "
+          f"motion {bytes_to_human(stats.motion_bytes)}")
+    return 0
+
+
 def _cmd_gamma(args: argparse.Namespace) -> int:
     edges = _load_graph(args.graph, args.scale)
     mean, stderr = monte_carlo_gamma(
@@ -172,6 +256,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--scale", type=float, default=0.25)
     bench.add_argument("--reps", type=int, default=1)
     bench.set_defaults(fn=_cmd_bench)
+
+    sql = sub.add_parser("sql", help="run ad-hoc SQL over a dataset")
+    sql.add_argument("graph", help="dataset name or CSV edge file, loaded "
+                                   "as table edges(v1, v2)")
+    sql.add_argument("sql", help="semicolon-separated SQL statements")
+    sql.add_argument("--scale", type=float, default=0.25)
+    sql.add_argument("--max-rows", type=int, default=25,
+                     help="rows of each result to materialise and print")
+    sql.set_defaults(fn=_cmd_sql)
 
     gamma = sub.add_parser("gamma", help="measure the contraction factor")
     gamma.add_argument("graph", help="dataset name or CSV edge file")

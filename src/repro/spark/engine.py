@@ -60,7 +60,9 @@ class SparkExecutor(Executor):
     """Executor with shuffle-everything, per-task kernel execution."""
 
     def __init__(self, catalog, registry, cluster, stats, n_tasks: int = 64):
-        super().__init__(catalog, registry, cluster, stats)
+        # Spark SQL has no MPP-style table indexes to reuse; keep the
+        # shuffle-everything accounting pure by disabling the index cache.
+        super().__init__(catalog, registry, cluster, stats, use_index_cache=False)
         self.n_tasks = n_tasks
         #: Total tasks launched, a Spark-ish metric exposed for reporting.
         self.tasks_launched = 0
@@ -73,10 +75,12 @@ class SparkExecutor(Executor):
 
     # -- kernels: hash-partitioned per-task execution ------------------------
 
-    def _join_kernel(self, left_keys, right_keys):
+    def _join_kernel(self, left_keys, right_keys, left_index=None,
+                     right_index=None):
         return self._partitioned_join(left_keys, right_keys, outer=False)
 
-    def _left_join_kernel(self, left_keys, right_keys):
+    def _left_join_kernel(self, left_keys, right_keys, left_index=None,
+                          right_index=None):
         return self._partitioned_join(left_keys, right_keys, outer=True)
 
     def _partitioned_join(self, left_keys, right_keys, outer: bool):
@@ -125,7 +129,7 @@ class SparkExecutor(Executor):
             return empty, empty.copy()
         return np.concatenate(out_left), np.concatenate(out_right)
 
-    def _group_kernel(self, key_columns):
+    def _group_kernel(self, key_columns, index=None):
         n = len(key_columns[0]) if key_columns else 0
         if n < self.n_tasks * 4:
             self.tasks_launched += 1

@@ -16,6 +16,18 @@ from typing import Optional, Tuple, Union
 
 
 @dataclass(frozen=True)
+class Param:
+    """Placeholder for an integer constant inside a cached statement template.
+
+    Never survives to execution: the plan cache substitutes the statement's
+    actual constants into its template AST before handing it to the
+    executor (see :mod:`repro.sqlengine.plancache`).
+    """
+
+    index: int
+
+
+@dataclass(frozen=True)
 class Literal:
     """A constant: integer, float, string, boolean or NULL (value=None)."""
 

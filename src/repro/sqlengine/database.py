@@ -19,6 +19,7 @@ from .executor import Executor, Relation
 from .functions import FunctionRegistry
 from .mpp import Cluster
 from .parser import parse_script, parse_statement
+from .plancache import PlanCache
 from .stats import EngineStats
 from .table import Catalog, Table
 from .types import INT64, Column
@@ -37,17 +38,17 @@ class ResultSet:
             raise ExecutionError("statement did not produce rows")
         return self._relation
 
-    def rows(self) -> list[tuple]:
-        return self.relation.rows()
+    def rows(self, limit: Optional[int] = None) -> list[tuple]:
+        return self.relation.rows(limit=limit)
 
     def scalar(self) -> object:
         """The single value of a one-row, one-column result."""
-        rows = self.rows()
-        if len(rows) != 1 or len(rows[0]) != 1:
+        relation = self.relation
+        if relation.n_rows != 1 or len(relation.names) != 1:
             raise ExecutionError(
-                f"expected a 1x1 result, got {len(rows)} row(s)"
+                f"expected a 1x1 result, got {relation.n_rows} row(s)"
             )
-        return rows[0][0]
+        return relation.rows(limit=1)[0][0]
 
     def column(self, name: str) -> np.ndarray:
         return self.relation.column(name).values
@@ -76,18 +77,35 @@ class Database:
         n_segments: int = 4,
         space_budget_bytes: Optional[int] = None,
         broadcast_row_limit: int = 4096,
+        use_plan_cache: bool = True,
+        use_index_cache: bool = True,
     ):
         self.catalog = Catalog()
         self.registry = FunctionRegistry()
         self.cluster = Cluster(n_segments, broadcast_row_limit)
         self.stats = EngineStats(space_budget_bytes)
-        self._executor = Executor(self.catalog, self.registry, self.cluster, self.stats)
+        self._executor = Executor(self.catalog, self.registry, self.cluster,
+                                  self.stats, use_index_cache=use_index_cache)
+        self._plans: Optional[PlanCache] = PlanCache() if use_plan_cache else None
 
     # -- SQL ------------------------------------------------------------
 
     def execute(self, sql: str, label: str = "") -> ResultSet:
-        """Parse and run one SQL statement."""
-        statement = parse_statement(sql)
+        """Parse and run one SQL statement.
+
+        Statements are parsed through the plan cache: repeated statement
+        *templates* (same SQL up to table-name suffixes and integer
+        constants — every per-round query of the reproduced algorithms)
+        reuse the cached AST instead of re-lexing and re-parsing.
+        """
+        if self._plans is not None:
+            statement, cache_hit = self._plans.statement_for(sql)
+            if cache_hit:
+                self.stats.record_plan_cache_hit()
+            else:
+                self.stats.record_plan_cache_miss()
+        else:
+            statement = parse_statement(sql)
         self.stats.begin_statement()
         started = time.perf_counter()
         relation, rowcount = self._executor.execute(statement)

@@ -6,10 +6,25 @@ The executor turns parsed statements into vectorised operator pipelines:
    ``binding.column``);
 2. WHERE/ON conjuncts are classified into per-table filters (pushed below
    joins), equi-join edges, and residual post-join filters;
-3. frames are joined greedily along equi-join edges with sort-merge joins —
-   a deliberately simple but real query optimiser, the component the paper
-   credits for much of the in-database performance;
+3. frames are joined greedily along equi-join edges — a deliberately simple
+   but real query optimiser, the component the paper credits for much of
+   the in-database performance;
 4. grouping/aggregation, DISTINCT and projection run on the joined frame.
+
+Join and group execution is *index-aware*.  Base-table frames carry
+provenance (``Frame.sources``): as long as a frame is an unfiltered scan of
+a stored table, its columns are traceable back to that table, and keyed
+operators consult the table's versioned index cache
+(:meth:`~repro.sqlengine.table.Table.ensure_index`).  A cached
+:class:`~repro.sqlengine.operators.KeyIndex` supplies the build side of a
+join pre-sorted (with uniqueness and min/max stats), so the second and
+third join against the same table — the paper's per-round ``reps`` pattern
+— skips its sort entirely.  The stats also drive **join pruning**: when
+both sides' key ranges are provably disjoint, the executor emits an empty
+result without running the kernel *and without charging the data motion* a
+stats-blind planner would have paid.  Cache traffic is counted in
+:class:`~repro.sqlengine.stats.EngineStats` (``index_cache_hits``/
+``index_cache_misses``/``joins_pruned``).
 
 MPP accounting happens where a real MPP executor would move data: a join or
 aggregation whose input is not already distributed on its key charges a
@@ -63,7 +78,14 @@ from .expressions import (
 )
 from .functions import FunctionRegistry
 from .mpp import Cluster
-from .operators import NO_MATCH, distinct_rows, group_rows, join_indices, left_join_indices
+from .operators import (
+    NO_MATCH,
+    KeyIndex,
+    distinct_rows,
+    group_rows,
+    join_indices,
+    left_join_indices,
+)
 from .stats import EngineStats
 from .table import Catalog, Table
 from .types import BOOL, FLOAT64, INT64, Column, dtype_for
@@ -104,9 +126,18 @@ class Relation:
         except KeyError:
             raise CatalogError(f"result has no column {name!r}")
 
-    def rows(self) -> list[tuple]:
-        """Materialise as Python row tuples (small results only)."""
-        lists = [self.columns[n].to_list() for n in self.names]
+    def rows(self, limit: Optional[int] = None) -> list[tuple]:
+        """Materialise as Python row tuples (small results only).
+
+        ``limit`` caps the number of rows materialised — rendering paths
+        that show only the head of a result should pass it rather than
+        paying for full-column Python list conversion.
+        """
+        if limit is not None and limit < self.n_rows:
+            head = {n: self.columns[n].take(np.arange(limit)) for n in self.names}
+            lists = [head[n].to_list() for n in self.names]
+        else:
+            lists = [self.columns[n].to_list() for n in self.names]
         return list(zip(*lists)) if lists else []
 
     def byte_size(self) -> int:
@@ -115,12 +146,20 @@ class Relation:
 
 @dataclass
 class Frame:
-    """An intermediate relation during FROM/JOIN processing."""
+    """An intermediate relation during FROM/JOIN processing.
+
+    ``sources`` is column provenance: while the frame is an unfiltered scan
+    of a stored table, each qualified column name maps to its
+    ``(table, column_name)`` origin, which lets keyed operators consult the
+    table's index cache.  Any row-reordering operation (filter, gather,
+    join) drops provenance, since cached indexes are positional.
+    """
 
     columns: dict[str, Column]  # key: "binding.column"
     bindings: dict[str, list[str]]  # binding -> column names, in order
     length: int
     distribution: frozenset[str] = frozenset()  # qualified names, value-equal
+    sources: dict[str, tuple] = field(default_factory=dict)
 
     def byte_size(self) -> int:
         return sum(col.byte_size() for col in self.columns.values())
@@ -158,11 +197,42 @@ class Executor:
         registry: FunctionRegistry,
         cluster: Cluster,
         stats: EngineStats,
+        use_index_cache: bool = True,
     ):
         self.catalog = catalog
         self.registry = registry
         self.cluster = cluster
         self.stats = stats
+        #: Consult stored tables' index caches for joins/grouping.  Disabled
+        #: by backends that model index-less engines (the Spark comparison),
+        #: and by tests that need the seed execution strategy.
+        self.use_index_cache = use_index_cache
+
+    def _stored_index(
+        self, frame: Frame, qualified_name: str, build: bool
+    ) -> Optional[KeyIndex]:
+        """Fetch (or build) the table index backing a frame column, if any.
+
+        ``build=False`` only returns an already-cached index — used for
+        probe sides, where building an index the kernel would not otherwise
+        need is wasted work, but reusing a free one enables range pruning.
+        """
+        if not self.use_index_cache:
+            return None
+        source = frame.sources.get(qualified_name)
+        if source is None:
+            return None
+        table, column_name = source
+        cached = table.cached_index(column_name)
+        if cached is not None:
+            self.stats.record_index_cache_hit()
+            return cached
+        if not build:
+            return None
+        index = table.ensure_index(column_name)
+        if index is not None:
+            self.stats.record_index_cache_miss()
+        return index
 
     # ------------------------------------------------------------------
     # operator kernels — overridable execution strategy
@@ -174,19 +244,27 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _join_kernel(
-        self, left_keys: list[Column], right_keys: list[Column]
+        self,
+        left_keys: list[Column],
+        right_keys: list[Column],
+        left_index: Optional[KeyIndex] = None,
+        right_index: Optional[KeyIndex] = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        return join_indices(left_keys, right_keys)
+        return join_indices(left_keys, right_keys, left_index, right_index)
 
     def _left_join_kernel(
-        self, left_keys: list[Column], right_keys: list[Column]
+        self,
+        left_keys: list[Column],
+        right_keys: list[Column],
+        left_index: Optional[KeyIndex] = None,
+        right_index: Optional[KeyIndex] = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        return left_join_indices(left_keys, right_keys)
+        return left_join_indices(left_keys, right_keys, left_index, right_index)
 
     def _group_kernel(
-        self, key_columns: list[Column]
+        self, key_columns: list[Column], index: Optional[KeyIndex] = None
     ) -> tuple[np.ndarray, np.ndarray]:
-        return group_rows(key_columns)
+        return group_rows(key_columns, index=index)
 
     def _distinct_kernel(self, columns: list[Column]) -> np.ndarray:
         return distinct_rows(columns)
@@ -313,11 +391,7 @@ class Executor:
 
     def _truncate(self, statement: TruncateTable) -> int:
         table = self.catalog.get(statement.name)
-        freed = table.byte_size()
-        for name, col in list(table.columns.items()):
-            empty = np.empty(0, dtype=col.values.dtype if col.sql_type != "text" else object)
-            table.columns[name] = Column(empty, col.sql_type)
-        table._byte_size = None
+        freed = table.truncate()
         self.stats.record_table_dropped(freed)
         return 0
 
@@ -449,7 +523,11 @@ class Executor:
                 if table.distribution_column
                 else set()
             )
-            return Frame(columns, {binding: table.column_names}, table.n_rows, distribution)
+            sources = {
+                f"{binding}.{name}": (table, name) for name in table.columns
+            }
+            return Frame(columns, {binding: table.column_names}, table.n_rows,
+                         distribution, sources)
         if isinstance(item, SubqueryRef):
             relation = self.run_select(item.select)
             binding = item.alias
@@ -521,9 +599,24 @@ class Executor:
             right_keys.append(right.columns[rname])
             left_names.append(lname)
             right_names.append(rname)
-        self._charge_join_motion(left, left_names)
-        self._charge_join_motion(right, right_names)
-        l_idx, r_idx = self._join_kernel(left_keys, right_keys)
+        left_index = right_index = None
+        if len(edges) == 1:
+            # Single-column equi-join (the dominant shape): the build side
+            # consults — and on a miss populates — its table's index cache;
+            # the probe side only picks up a cached index (free stats).
+            right_index = self._stored_index(right, right_names[0], build=True)
+            left_index = self._stored_index(left, left_names[0], build=False)
+        if _ranges_disjoint(left_index, right_index):
+            # Provably empty join: skip the kernel and the data motion a
+            # stats-blind planner would have charged for co-location.
+            self.stats.record_join_pruned()
+            l_idx = r_idx = np.empty(0, dtype=np.int64)
+        else:
+            self._charge_join_motion(left, left_names)
+            self._charge_join_motion(right, right_names)
+            l_idx, r_idx = self._join_kernel(
+                left_keys, right_keys, left_index=left_index, right_index=right_index
+            )
         columns = {name: col.take(l_idx) for name, col in left.columns.items()}
         columns.update({name: col.take(r_idx) for name, col in right.columns.items()})
         bindings = dict(left.bindings)
@@ -582,9 +675,14 @@ class Executor:
             raise PlanError("LEFT JOIN requires at least one equality condition")
         if residual:
             raise PlanError("non-equality LEFT JOIN conditions are not supported")
+        right_index = None
+        if len(left_keys) == 1:
+            right_index = self._stored_index(right, right_names[0], build=True)
         self._charge_join_motion(left, left_names)
         self._charge_join_motion(right, right_names)
-        l_idx, r_idx = self._left_join_kernel(left_keys, right_keys)
+        l_idx, r_idx = self._left_join_kernel(
+            left_keys, right_keys, right_index=right_index
+        )
         columns = {name: col.take(l_idx) for name, col in left.columns.items()}
         unmatched = r_idx == NO_MATCH
         safe_idx = np.where(unmatched, 0, r_idx)
@@ -657,7 +755,15 @@ class Executor:
         key_columns = [env.lookup(ref) for ref in group_refs]
 
         if key_columns:
-            order, starts = self._group_kernel(key_columns)
+            group_index = None
+            if len(group_refs) == 1:
+                # A group key scanned straight off a stored table uses (and
+                # warms) the table's index cache: the sort performed here is
+                # the same one the round's joins need.
+                group_index = self._stored_index(
+                    frame, self._qualified(group_refs[0], frame), build=True
+                )
+            order, starts = self._group_kernel(key_columns, index=group_index)
             n_groups = int(starts.shape[0])
             counts = np.diff(np.append(starts, order.shape[0]))
         else:
@@ -859,6 +965,20 @@ class Executor:
 # ---------------------------------------------------------------------------
 # predicate analysis helpers
 # ---------------------------------------------------------------------------
+
+
+def _ranges_disjoint(
+    left_index: Optional[KeyIndex], right_index: Optional[KeyIndex]
+) -> bool:
+    """True when two key indexes prove an equi-join can match nothing."""
+    if left_index is None or right_index is None:
+        return False
+    if left_index.min_value is None or right_index.min_value is None:
+        return False
+    return (
+        left_index.min_value > right_index.max_value
+        or left_index.max_value < right_index.min_value
+    )
 
 
 def _conjuncts(expr: Optional[Expression]) -> list[Expression]:

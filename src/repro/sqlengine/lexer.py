@@ -54,8 +54,13 @@ class Token:
         return self.value.lower() == value.lower()
 
 
-def tokenize(sql: str) -> list[Token]:
-    """Tokenise SQL text; raises :class:`ParseError` on bad input."""
+def tokenize(sql: str, allow_params: bool = False) -> list[Token]:
+    """Tokenise SQL text; raises :class:`ParseError` on bad input.
+
+    ``allow_params`` enables the ``$<n>`` placeholder syntax used by
+    statement templates (see plancache.py); user-facing SQL keeps ``$``
+    illegal so placeholders can never arrive from outside.
+    """
     tokens: list[Token] = []
     i = 0
     n = len(sql)
@@ -76,11 +81,25 @@ def tokenize(sql: str) -> list[Token]:
             continue
         if ch.isalpha() or ch == "_":
             start = i
-            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+            # In template mode "$" continues an identifier: statement
+            # templates parameterise trailing digits of generated table
+            # names as "name$<slot>".
+            ident_chars = "_$" if allow_params else "_"
+            while i < n and (sql[i].isalnum() or sql[i] in ident_chars):
                 i += 1
             word = sql[start:i]
             kind = KEYWORD if word.lower() in KEYWORDS else IDENT
             tokens.append(Token(kind, word, start))
+            continue
+        if ch == "$" and allow_params:
+            # A template placeholder for an integer literal: "$<slot>".
+            start = i
+            i += 1
+            while i < n and sql[i].isdigit():
+                i += 1
+            if i == start + 1:
+                raise ParseError("'$' must be followed by a parameter number", start)
+            tokens.append(Token(INTEGER, sql[start:i], start))
             continue
         if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
             start = i

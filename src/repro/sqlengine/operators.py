@@ -6,12 +6,37 @@ DISTINCT.  All kernels are pure index arithmetic — they return row index
 arrays rather than materialised rows, so the executor can gather only the
 columns a query actually needs.
 
+Two execution strategies coexist:
+
+* **Hash/dictionary kernels** (the hot path) handle the dominant case of
+  the reproduced algorithms — single-column ``int64`` keys without NULLs.
+  When the key range is dense (span comparable to the row count, as with
+  vertex IDs) the join builds a direct-address slot table and the DISTINCT
+  kernel scatters first-occurrence positions, both O(n) with no sort at
+  all.  Sparse 64-bit keys (post-randomisation representative values) use
+  a :class:`KeyIndex` — a sorted order plus uniqueness and min/max stats —
+  which stored tables cache across statements (see
+  :meth:`repro.sqlengine.table.Table.ensure_index`), so repeated joins
+  against the same table pay the sort once.
+
+* **Sort-merge kernels** (:func:`merge_join_indices`,
+  :func:`sorted_group_rows`) remain as the reference implementation and
+  the fallback for multi-column keys, text keys, and NULL-bearing inputs.
+
+Every fast path is *plan-stable*: it returns exactly the same index arrays,
+in exactly the same order, as the sort-merge reference.  The property tests
+in ``tests/test_operators.py`` enforce this, and it is what makes the
+engine's output bit-for-bit reproducible regardless of which kernel the
+dispatch picks.
+
 Every kernel must behave on empty inputs, because the termination condition
 of every reproduced algorithm ("repeat until the edge table is empty") makes
 the final round's queries run over zero rows.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
@@ -20,6 +45,106 @@ from .types import TEXT, Column
 
 #: Right-index sentinel for unmatched rows in a left outer join.
 NO_MATCH = -1
+
+#: Dense-key dispatch: a direct-address table is used when the key span is
+#: at most ``DENSE_SPAN_FACTOR`` times the build-side row count (or the
+#: absolute floor, so tiny inputs with moderate spans still qualify), capped
+#: to bound the slot-array allocation.
+DENSE_SPAN_FACTOR = 4
+DENSE_SPAN_FLOOR = 1 << 16
+DENSE_SPAN_CAP = 1 << 24
+
+
+# ---------------------------------------------------------------------------
+# key indexes
+# ---------------------------------------------------------------------------
+
+
+class KeyIndex:
+    """A reusable single-column index: key statistics plus sorted order.
+
+    ``is_unique`` and the min/max bounds let the join kernels skip the
+    duplicate-expansion machinery and let the planner prove joins empty
+    (disjoint key ranges) without touching the data.  ``order`` (the
+    stable argsort of the values) and ``sorted_values`` are **lazy**:
+    dense-key columns never need them — the direct-address join consumes
+    only the O(n) statistics — so building them eagerly would make every
+    one-shot dense join pay for a sort it never uses.  The first consumer
+    that does need the sorted order (a sparse-key join probe, or GROUP BY
+    through the executor's index-aware grouping) materialises it once, and
+    the table cache keeps it.
+    """
+
+    __slots__ = ("_values", "n_rows", "is_unique", "min_value", "max_value",
+                 "_order", "_sorted_values")
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        is_unique: bool,
+        min_value: Optional[int],
+        max_value: Optional[int],
+        order: Optional[np.ndarray] = None,
+        sorted_values: Optional[np.ndarray] = None,
+    ):
+        self._values = values
+        self.n_rows = int(values.shape[0])
+        self.is_unique = is_unique
+        self.min_value = min_value
+        self.max_value = max_value
+        self._order = order
+        self._sorted_values = sorted_values
+
+    @property
+    def order(self) -> np.ndarray:
+        if self._order is None:
+            self._order = np.argsort(self._values, kind="stable")
+        return self._order
+
+    @property
+    def sorted_values(self) -> np.ndarray:
+        if self._sorted_values is None:
+            self._sorted_values = self._values[self.order]
+        return self._sorted_values
+
+
+def _dense_span_limit(n_rows: int) -> int:
+    """Largest key span the direct-address kernels will allocate for."""
+    return min(max(DENSE_SPAN_FACTOR * n_rows, DENSE_SPAN_FLOOR), DENSE_SPAN_CAP)
+
+
+def build_key_index(values: np.ndarray) -> KeyIndex:
+    """Build a :class:`KeyIndex` over a non-null numeric column."""
+    if values.dtype == object:
+        raise ExecutionError("key indexes require fixed-width numeric columns")
+    n = int(values.shape[0])
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return KeyIndex(values, True, None, None, order=empty,
+                        sorted_values=values)
+    if values.dtype.kind in "iu":
+        min_value, max_value = int(values.min()), int(values.max())
+        span = max_value - min_value + 1
+        if span <= _dense_span_limit(n):
+            # Dense keys: uniqueness comes from an O(n) bincount and the
+            # join kernel will use direct addressing — defer the sort.
+            counts = np.bincount(values - min_value)
+            return KeyIndex(values, int(counts.max()) <= 1, min_value,
+                            max_value)
+    else:
+        min_value = max_value = None
+    order = np.argsort(values, kind="stable")
+    sorted_values = values[order]
+    is_unique = n < 2 or not bool(
+        (sorted_values[1:] == sorted_values[:-1]).any()
+    )
+    return KeyIndex(values, is_unique, min_value, max_value, order,
+                    sorted_values)
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
 
 
 def _keys_as_arrays(columns: list[Column]) -> list[np.ndarray]:
@@ -59,12 +184,60 @@ def _pack_keys(arrays: list[np.ndarray]) -> np.ndarray:
     return np.array([tuple(row) for row in zip(*arrays)], dtype=object)
 
 
+def _empty_pair() -> tuple[np.ndarray, np.ndarray]:
+    empty = np.empty(0, dtype=np.int64)
+    return empty, empty.copy()
+
+
+# ---------------------------------------------------------------------------
+# joins
+# ---------------------------------------------------------------------------
+
+
 def join_indices(
-    left_keys: list[Column], right_keys: list[Column]
+    left_keys: list[Column],
+    right_keys: list[Column],
+    left_index: Optional[KeyIndex] = None,
+    right_index: Optional[KeyIndex] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Inner m:n equi-join; returns aligned (left_rows, right_rows).
 
-    NULL keys never match (SQL semantics).
+    NULL keys never match (SQL semantics).  ``left_index``/``right_index``
+    are optional precomputed :class:`KeyIndex` objects over the *unfiltered*
+    key columns (typically from a stored table's index cache); they let the
+    kernel skip its build-side sort.  An index is ignored whenever the
+    corresponding side had NULL rows filtered out, since its row numbering
+    would no longer line up.
+    """
+    if len(left_keys) != len(right_keys) or not left_keys:
+        raise ExecutionError("join requires matching non-empty key lists")
+    left_valid = _non_null_rows(left_keys)
+    right_valid = _non_null_rows(right_keys)
+    lk = _pack_keys(_keys_as_arrays(left_keys))
+    rk = _pack_keys(_keys_as_arrays(right_keys))
+    left_rows = np.arange(lk.shape[0])
+    right_rows = np.arange(rk.shape[0])
+    if left_valid is not None:
+        left_rows = left_rows[left_valid]
+        lk = lk[left_valid]
+        left_index = None
+    if right_valid is not None:
+        right_rows = right_rows[right_valid]
+        rk = rk[right_valid]
+        right_index = None
+    if lk.shape[0] == 0 or rk.shape[0] == 0:
+        return _empty_pair()
+    l_idx, r_idx = _join_core(lk, rk, left_index, right_index)
+    return left_rows[l_idx], right_rows[r_idx]
+
+
+def merge_join_indices(
+    left_keys: list[Column], right_keys: list[Column]
+) -> tuple[np.ndarray, np.ndarray]:
+    """The seed sort-merge join, kept as reference and benchmark baseline.
+
+    Produces identical output to :func:`join_indices`; the hash kernels are
+    dispatch-time optimisations only.
     """
     if len(left_keys) != len(right_keys) or not left_keys:
         raise ExecutionError("join requires matching non-empty key lists")
@@ -81,21 +254,23 @@ def join_indices(
         right_rows = right_rows[right_valid]
         rk = rk[right_valid]
     if lk.shape[0] == 0 or rk.shape[0] == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty.copy()
+        return _empty_pair()
     l_idx, r_idx = _merge_join(lk, rk)
     return left_rows[l_idx], right_rows[r_idx]
 
 
 def left_join_indices(
-    left_keys: list[Column], right_keys: list[Column]
+    left_keys: list[Column],
+    right_keys: list[Column],
+    left_index: Optional[KeyIndex] = None,
+    right_index: Optional[KeyIndex] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Left outer m:n equi-join.
 
     Returns (left_rows, right_rows) where unmatched left rows appear exactly
     once with ``right_rows == NO_MATCH``.
     """
-    l_idx, r_idx = join_indices(left_keys, right_keys)
+    l_idx, r_idx = join_indices(left_keys, right_keys, left_index, right_index)
     n_left = len(left_keys[0])
     matched = np.zeros(n_left, dtype=bool)
     matched[l_idx] = True
@@ -107,17 +282,119 @@ def left_join_indices(
     return left_rows, right_rows
 
 
-def _merge_join(lk: np.ndarray, rk: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Sort-merge join core on packed keys without NULLs."""
-    r_order = np.argsort(rk, kind="stable")
+def _join_core(
+    lk: np.ndarray,
+    rk: np.ndarray,
+    left_index: Optional[KeyIndex],
+    right_index: Optional[KeyIndex],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dispatch between the hash paths and the sort-merge fallback."""
+    if lk.dtype.kind == "i" and rk.dtype.kind == "i":
+        return _hash_join_int(lk, rk, left_index, right_index)
+    if right_index is not None:
+        return _merge_join(lk, rk, r_order=right_index.order)
+    return _merge_join(lk, rk)
+
+
+def _hash_join_int(
+    lk: np.ndarray,
+    rk: np.ndarray,
+    left_index: Optional[KeyIndex],
+    right_index: Optional[KeyIndex],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single-column integer join: dense direct-address or sorted-index probe."""
+    n_right = int(rk.shape[0])
+    if right_index is not None and right_index.min_value is not None:
+        rmin, rmax = right_index.min_value, right_index.max_value
+    else:
+        rmin, rmax = int(rk.min()), int(rk.max())
+    # Key-range pruning: disjoint min/max ranges cannot produce matches.
+    if left_index is not None and left_index.min_value is not None:
+        if left_index.min_value > rmax or left_index.max_value < rmin:
+            return _empty_pair()
+    span = rmax - rmin + 1
+    if span <= _dense_span_limit(n_right):
+        return _dense_join(lk, rk, rmin, span, right_index)
+    if right_index is not None:
+        if right_index.is_unique:
+            return _probe_unique_sorted(lk, right_index)
+        return _merge_join(lk, rk, r_order=right_index.order)
+    return _merge_join(lk, rk)
+
+
+def _dense_join(
+    lk: np.ndarray,
+    rk: np.ndarray,
+    rmin: int,
+    span: int,
+    right_index: Optional[KeyIndex],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Direct-address join over a dense build-side key range (no sort)."""
+    n_right = int(rk.shape[0])
+    rel_right = rk - rmin
+    counts: Optional[np.ndarray] = None
+    if right_index is not None and right_index.is_unique:
+        unique = True
+    else:
+        counts = np.bincount(rel_right, minlength=span)
+        unique = n_right < 2 or int(counts.max()) <= 1
+    # Bounds-check on the original values: computing lk - rmin first could
+    # wrap around int64 for extreme key ranges and alias into the table.
+    in_bounds = (lk >= rmin) & (lk <= rmin + (span - 1))
+    l_rel = np.where(in_bounds, lk - rmin, 0)
+    if unique:
+        slots = np.full(span, NO_MATCH, dtype=np.int64)
+        slots[rel_right] = np.arange(n_right, dtype=np.int64)
+        candidates = slots[l_rel]
+        match = in_bounds & (candidates != NO_MATCH)
+        l_idx = np.flatnonzero(match)
+        return l_idx, candidates[l_idx]
+    # Duplicate build keys: bucket right rows by key code (stable argsort on
+    # the small code range is numpy's radix sort — linear, not comparison).
+    order = right_index.order if right_index is not None \
+        else np.argsort(rel_right, kind="stable")
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    cnt = np.where(in_bounds, counts[l_rel], 0)
+    total = int(cnt.sum())
+    if total == 0:
+        return _empty_pair()
+    l_idx = np.repeat(np.arange(lk.shape[0]), cnt)
+    run_starts = np.repeat(starts[l_rel], cnt)
+    offsets = np.concatenate(([0], np.cumsum(cnt)[:-1]))
+    within_run = np.arange(total) - np.repeat(offsets, cnt)
+    return l_idx, order[run_starts + within_run]
+
+
+def _probe_unique_sorted(
+    lk: np.ndarray, right_index: KeyIndex
+) -> tuple[np.ndarray, np.ndarray]:
+    """Probe a cached sorted index with unique keys: one binary search, no
+    duplicate expansion."""
+    sorted_values = right_index.sorted_values
+    pos = np.searchsorted(sorted_values, lk)
+    np.minimum(pos, sorted_values.shape[0] - 1, out=pos)
+    match = sorted_values[pos] == lk
+    l_idx = np.flatnonzero(match)
+    return l_idx, right_index.order[pos[l_idx]]
+
+
+def _merge_join(
+    lk: np.ndarray, rk: np.ndarray, r_order: Optional[np.ndarray] = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort-merge join core on packed keys without NULLs.
+
+    ``r_order`` is an optional precomputed stable argsort of ``rk`` (from a
+    table's index cache) that skips the build-side sort.
+    """
+    if r_order is None:
+        r_order = np.argsort(rk, kind="stable")
     r_sorted = rk[r_order]
     lo = np.searchsorted(r_sorted, lk, side="left")
     hi = np.searchsorted(r_sorted, lk, side="right")
     counts = hi - lo
     total = int(counts.sum())
     if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty.copy()
+        return _empty_pair()
     l_idx = np.repeat(np.arange(lk.shape[0]), counts)
     run_starts = np.repeat(lo, counts)
     offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
@@ -126,13 +403,56 @@ def _merge_join(lk: np.ndarray, rk: np.ndarray) -> tuple[np.ndarray, np.ndarray]
     return l_idx, r_idx
 
 
-def group_rows(key_columns: list[Column]) -> tuple[np.ndarray, np.ndarray]:
+# ---------------------------------------------------------------------------
+# grouping and distinct
+# ---------------------------------------------------------------------------
+
+
+def group_rows(
+    key_columns: list[Column], index: Optional[KeyIndex] = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Group rows by key equality.
 
     Returns ``(order, starts)``: ``order`` sorts rows so equal keys are
     adjacent; ``starts`` indexes into ``order`` at each group's first row.
     NULL keys form their own group (SQL GROUP BY treats NULLs as equal).
+
+    ``index`` is an optional cached :class:`KeyIndex` over a single NULL-free
+    key column; it makes grouping sort-free.
     """
+    n = len(key_columns[0]) if key_columns else 0
+    if n == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    if (
+        index is not None
+        and len(key_columns) == 1
+        and key_columns[0].mask is None
+        and index.n_rows == n
+    ):
+        return index.order, _boundaries(index.sorted_values)
+    if all(col.mask is None for col in key_columns):
+        if len(key_columns) == 1:
+            values = key_columns[0].values
+            order = np.argsort(values, kind="stable")
+            return order, _boundaries(values[order])
+        if all(col.values.dtype != object for col in key_columns):
+            # Null-free multi-column keys: sort on the value arrays alone
+            # (the seed path also lexsorts one constant mask key per column,
+            # doubling the sort work for nothing).
+            arrays = [col.values for col in key_columns]
+            order = np.lexsort(tuple(reversed(arrays)))
+            change = np.zeros(n, dtype=bool)
+            change[0] = True
+            for values in arrays:
+                values_sorted = values[order]
+                change[1:] |= values_sorted[1:] != values_sorted[:-1]
+            return order, np.flatnonzero(change)
+    return sorted_group_rows(key_columns)
+
+
+def sorted_group_rows(key_columns: list[Column]) -> tuple[np.ndarray, np.ndarray]:
+    """The seed lexsort grouping: reference implementation and NULL/text
+    fallback."""
     n = len(key_columns[0]) if key_columns else 0
     if n == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
@@ -157,11 +477,57 @@ def group_rows(key_columns: list[Column]) -> tuple[np.ndarray, np.ndarray]:
     return order, starts
 
 
-def distinct_rows(columns: list[Column]) -> np.ndarray:
-    """Row indices of the first occurrence of each distinct row."""
+def _boundaries(sorted_values: np.ndarray) -> np.ndarray:
+    """Group-start positions within an already-sorted key array."""
+    n = sorted_values.shape[0]
+    change = np.zeros(n, dtype=bool)
+    change[0] = True
+    change[1:] = sorted_values[1:] != sorted_values[:-1]
+    return np.flatnonzero(change)
+
+
+def distinct_rows(
+    columns: list[Column], index: Optional[KeyIndex] = None
+) -> np.ndarray:
+    """Row indices of the first occurrence of each distinct row.
+
+    ``index`` serves callers that hold a cached :class:`KeyIndex` for a
+    single-column input; the executor's DISTINCT runs on post-projection
+    relations (no table provenance), so it does not pass one.
+    """
     if not columns:
         return np.empty(0, dtype=np.int64)
-    order, starts = group_rows(columns)
+    n = len(columns[0])
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if len(columns) == 1 and columns[0].mask is None \
+            and columns[0].values.dtype.kind == "i":
+        return _distinct_int(columns[0].values, index)
+    order, starts = group_rows(columns, index=index)
     if order.size == 0:
         return order
     return order[starts]
+
+
+def _distinct_int(values: np.ndarray, index: Optional[KeyIndex]) -> np.ndarray:
+    """DISTINCT over one NULL-free integer column.
+
+    Dense key ranges use a first-occurrence scatter (O(n), no sort): writing
+    positions in reverse order leaves each slot holding the *first* original
+    occurrence, matching the sort-based reference exactly.
+    """
+    n = int(values.shape[0])
+    if index is not None and index.n_rows == n:
+        return index.order[_boundaries(index.sorted_values)]
+    vmin, vmax = int(values.min()), int(values.max())
+    span = vmax - vmin + 1
+    if span <= _dense_span_limit(n):
+        rel = values - vmin
+        first = np.full(span, -1, dtype=np.int64)
+        first[rel[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
+        firsts = first[first >= 0]
+        # Scatter yields first occurrences ordered by key value — the same
+        # set the sorted reference produces, in the same order.
+        return firsts
+    _, first_positions = np.unique(values, return_index=True)
+    return first_positions.astype(np.int64, copy=False)

@@ -27,6 +27,7 @@ from .ast_nodes import (
     IsNull,
     Join,
     Literal,
+    Param,
     Select,
     SelectCore,
     SelectItem,
@@ -49,9 +50,9 @@ _COMPARISONS = {"=", "!=", "<>", "<", "<=", ">", ">="}
 class Parser:
     """One-shot parser over a token list."""
 
-    def __init__(self, sql: str):
+    def __init__(self, sql: str, allow_params: bool = False):
         self._sql = sql
-        self._tokens = tokenize(sql)
+        self._tokens = tokenize(sql, allow_params=allow_params)
         self._pos = 0
 
     # -- token helpers ------------------------------------------------------
@@ -398,6 +399,10 @@ class Parser:
         token = self._peek()
         if token.kind == INTEGER:
             self._advance()
+            if token.value.startswith("$"):
+                # Statement-template placeholder; the plan cache patches the
+                # real constant in before execution (see plancache.py).
+                return Literal(Param(int(token.value[1:])))
             return Literal(int(token.value))
         if token.kind == FLOAT:
             self._advance()

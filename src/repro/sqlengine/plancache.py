@@ -1,0 +1,183 @@
+"""The plan/statement cache: parsed ASTs keyed by SQL template.
+
+Every reproduced algorithm drives the engine with per-round SQL rendered
+from the same handful of f-string templates — only the round's table-name
+suffixes (``ccreps3`` → ``ccreps4``) and the randomisation constants change.
+The seed engine re-lexed and re-parsed each of those statements from
+scratch; this module makes round N pay zero lexer/parser cost.
+
+How it works:
+
+1. **Normalisation** (one C-level regex pass over the SQL text): every
+   standalone integer literal and every digit suffix of an identifier is
+   replaced by a positional placeholder (``$0``, ``$1``, ...); string
+   literals are skipped.  The normalised text is the cache key, and the
+   extracted digit runs are the statement's parameters.
+2. **Template parse** (once per template): the placeholder text is parsed
+   by the ordinary parser — the lexer understands ``$`` markers — yielding
+   an AST whose parameterised positions are either
+   :class:`~repro.sqlengine.ast_nodes.Param` literal values or name strings
+   containing ``$k`` markers.  A generic dataclass walk collects these
+   *slots*.
+3. **Verification** (once per template): the template AST is patched with
+   the first statement's parameters and compared structurally (``==`` on
+   frozen dataclasses) against a direct parse of the original SQL.  Any
+   mismatch — exotic syntax, markers landing somewhere surprising — marks
+   the template uncacheable and the engine falls back to full parsing for
+   it forever.  Correctness therefore never depends on the normaliser
+   being clever, only on the verification being exact.
+4. **Hits**: subsequent statements that normalise to the same template
+   re-patch the slots in place (a few ``setattr`` calls) and reuse the AST.
+
+Patching mutates the cached AST between executions, which is safe because
+execution is synchronous and the executor retains no statement references
+after a call completes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from collections import OrderedDict
+from typing import Optional
+
+from .ast_nodes import Param, Statement
+from .parser import Parser, parse_statement
+
+#: Matches string literals (kept verbatim) or parameterisable digit runs.
+#: A digit run qualifies when it is not part of a float or exponent form
+#: (not adjacent to ".", not preceded by "<digit>e") and not followed by
+#: more identifier characters (so mid-identifier digits stay literal).
+_NORMALIZE_RE = re.compile(
+    r"('(?:[^']|'')*')|((?<![\d.])(?<![\d.][eE])\d+(?![\w.]))"
+)
+
+#: Placeholder markers inside template strings.
+_MARKER_RE = re.compile(r"\$(\d+)")
+
+
+def normalize_statement(sql: str) -> tuple[str, list[str]]:
+    """Return (template text, extracted parameter digit-runs)."""
+    params: list[str] = []
+
+    def replace(match: re.Match) -> str:
+        if match.group(1) is not None:
+            return match.group(1)
+        params.append(match.group(2))
+        return f"${len(params) - 1}"
+
+    return _NORMALIZE_RE.sub(replace, sql), params
+
+
+def _collect_slots(node: object, slots: list) -> None:
+    """Find every dataclass field holding placeholder material."""
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if _needs_patch(value):
+            slots.append((node, field.name, value))
+        _collect_children(value, slots)
+
+
+def _collect_children(value: object, slots: list) -> None:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        _collect_slots(value, slots)
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            _collect_children(item, slots)
+
+
+def _needs_patch(value: object) -> bool:
+    if isinstance(value, Param):
+        return True
+    if isinstance(value, str):
+        return "$" in value
+    if isinstance(value, (tuple, list)):
+        return any(
+            _needs_patch(item)
+            for item in value
+            if not (dataclasses.is_dataclass(item) and not isinstance(item, type))
+        )
+    return False
+
+
+def _instantiate(template_value: object, params: list[str]) -> object:
+    """Rebuild a slot value with the statement's actual parameters."""
+    if isinstance(template_value, Param):
+        return int(params[template_value.index])
+    if isinstance(template_value, str):
+        return _MARKER_RE.sub(
+            lambda m: params[int(m.group(1))], template_value
+        )
+    if isinstance(template_value, tuple):
+        return tuple(_instantiate(item, params) for item in template_value)
+    if isinstance(template_value, list):
+        return [_instantiate(item, params) for item in template_value]
+    return template_value
+
+
+class _Template:
+    """One cache entry: a reusable AST plus its patchable slots.
+
+    ``statement is None`` marks a template that failed verification — the
+    cache remembers the failure so the (cheap) normalisation is the only
+    cost such statements keep paying.
+    """
+
+    __slots__ = ("statement", "slots")
+
+    def __init__(self, statement: Optional[Statement], slots: list):
+        self.statement = statement
+        self.slots = slots
+
+    def patch(self, params: list[str]) -> Statement:
+        for node, field_name, template_value in self.slots:
+            object.__setattr__(
+                node, field_name, _instantiate(template_value, params)
+            )
+        return self.statement
+
+
+class PlanCache:
+    """LRU cache of parsed statement templates."""
+
+    def __init__(self, max_entries: int = 256):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, _Template]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def statement_for(self, sql: str) -> tuple[Statement, bool]:
+        """Parse-or-fetch one statement; returns (statement, was_cache_hit)."""
+        if "$" in sql or "--" in sql or "/*" in sql:
+            # "$" would collide with our own markers; comments would need a
+            # comment-aware normaliser.  Neither occurs in generated SQL.
+            return parse_statement(sql), False
+        template_sql, params = normalize_statement(sql)
+        entry = self._entries.get(template_sql)
+        if entry is not None:
+            self._entries.move_to_end(template_sql)
+            if entry.statement is None:
+                return parse_statement(sql), False
+            return entry.patch(params), True
+        direct = parse_statement(sql)
+        self._entries[template_sql] = self._build(template_sql, params, direct)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return direct, False
+
+    def _build(
+        self, template_sql: str, params: list[str], direct: Statement
+    ) -> _Template:
+        try:
+            # Template mode: only here is the "$" placeholder syntax legal;
+            # user-facing SQL can never smuggle one in.
+            statement = Parser(template_sql, allow_params=True).parse_statement()
+            slots: list = []
+            _collect_slots(statement, slots)
+            entry = _Template(statement, slots)
+            if entry.patch(params) != direct:
+                return _Template(None, [])
+            return entry
+        except Exception:
+            return _Template(None, [])

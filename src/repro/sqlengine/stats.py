@@ -45,6 +45,11 @@ class StatsSnapshot:
     broadcast_bytes: int
     live_bytes: int
     peak_live_bytes: int
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    index_cache_hits: int = 0
+    index_cache_misses: int = 0
+    joins_pruned: int = 0
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated since ``earlier`` (peak is the later peak)."""
@@ -56,6 +61,11 @@ class StatsSnapshot:
             broadcast_bytes=self.broadcast_bytes - earlier.broadcast_bytes,
             live_bytes=self.live_bytes,
             peak_live_bytes=self.peak_live_bytes,
+            plan_cache_hits=self.plan_cache_hits - earlier.plan_cache_hits,
+            plan_cache_misses=self.plan_cache_misses - earlier.plan_cache_misses,
+            index_cache_hits=self.index_cache_hits - earlier.index_cache_hits,
+            index_cache_misses=self.index_cache_misses - earlier.index_cache_misses,
+            joins_pruned=self.joins_pruned - earlier.joins_pruned,
         )
 
 
@@ -71,6 +81,12 @@ class EngineStats:
         self.broadcast_bytes = 0
         self.live_bytes = 0
         self.peak_live_bytes = 0
+        # Engine-cache effectiveness counters (see plancache.py / table.py).
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.index_cache_hits = 0
+        self.index_cache_misses = 0
+        self.joins_pruned = 0
         self.log: list[QueryRecord] = []
         # Per-statement scratch counters, folded into a QueryRecord by the
         # database façade around each execute() call.
@@ -116,6 +132,28 @@ class EngineStats:
         self.broadcast_bytes += total
         self._stmt_motion += total
 
+    # -- engine caches --------------------------------------------------------
+
+    def record_plan_cache_hit(self) -> None:
+        """A statement executed from a cached parse (zero lexer/parser cost)."""
+        self.plan_cache_hits += 1
+
+    def record_plan_cache_miss(self) -> None:
+        """A statement that had to be parsed from scratch."""
+        self.plan_cache_misses += 1
+
+    def record_index_cache_hit(self) -> None:
+        """A keyed operator reused a stored table's cached column index."""
+        self.index_cache_hits += 1
+
+    def record_index_cache_miss(self) -> None:
+        """A keyed operator built (and cached) a stored column index."""
+        self.index_cache_misses += 1
+
+    def record_join_pruned(self) -> None:
+        """A join proven empty from index stats; its data motion was skipped."""
+        self.joins_pruned += 1
+
     # -- statement bracketing -------------------------------------------------
 
     def begin_statement(self) -> None:
@@ -147,6 +185,11 @@ class EngineStats:
             broadcast_bytes=self.broadcast_bytes,
             live_bytes=self.live_bytes,
             peak_live_bytes=self.peak_live_bytes,
+            plan_cache_hits=self.plan_cache_hits,
+            plan_cache_misses=self.plan_cache_misses,
+            index_cache_hits=self.index_cache_hits,
+            index_cache_misses=self.index_cache_misses,
+            joins_pruned=self.joins_pruned,
         )
 
     def reset_peak(self) -> None:

@@ -1,4 +1,15 @@
-"""Stored tables and the catalog."""
+"""Stored tables and the catalog.
+
+Tables carry a **versioned per-column index cache**: the first keyed
+operation against a stored column builds a :class:`~repro.sqlengine.operators.KeyIndex`
+(sorted order, uniqueness, min/max stats) and caches it on the table;
+subsequent joins and groupings against the same column reuse it instead of
+re-sorting.  Any mutation (``INSERT`` append, ``TRUNCATE``) bumps the table
+version, which invalidates every cached index — a stale index can therefore
+never be observed.  The paper's algorithms join the per-round ``reps``
+table two to three times per contraction round, which is exactly the reuse
+pattern this cache targets.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +18,8 @@ from typing import Iterable, Optional
 import numpy as np
 
 from .errors import CatalogError, ExecutionError
-from .types import Column
+from .operators import KeyIndex, build_key_index
+from .types import TEXT, Column
 
 
 class Table:
@@ -39,6 +51,10 @@ class Table:
         self.columns = dict(columns)
         self.distribution_column = distribution_column
         self._byte_size: Optional[int] = None
+        #: Bumped on every mutation; cached indexes are tagged with the
+        #: version they were built against and ignored once it moves on.
+        self.version = 0
+        self._indexes: dict[str, tuple[int, KeyIndex]] = {}
 
     @property
     def n_rows(self) -> int:
@@ -71,7 +87,49 @@ class Table:
         for name, col in columns.items():
             self.columns[name] = Column.concat([self.columns[name], col])
         self._byte_size = None
+        self._invalidate_indexes()
         return self.byte_size() - before
+
+    def truncate(self) -> int:
+        """Drop all rows, keeping the schema; returns the bytes freed."""
+        freed = self.byte_size()
+        for name, col in list(self.columns.items()):
+            empty = np.empty(0, dtype=col.values.dtype if col.sql_type != TEXT
+                             else object)
+            self.columns[name] = Column(empty, col.sql_type)
+        self._byte_size = None
+        self._invalidate_indexes()
+        return freed
+
+    # -- per-column index cache --------------------------------------------
+
+    def _invalidate_indexes(self) -> None:
+        self.version += 1
+        self._indexes.clear()
+
+    def cached_index(self, column_name: str) -> Optional[KeyIndex]:
+        """Return the cached index for a column, or None if absent/stale."""
+        entry = self._indexes.get(column_name)
+        if entry is None or entry[0] != self.version:
+            return None
+        return entry[1]
+
+    def ensure_index(self, column_name: str) -> Optional[KeyIndex]:
+        """Return (building and caching if needed) the index for a column.
+
+        Returns ``None`` for columns that cannot be indexed: text columns
+        (object storage, no cheap stats) and columns with NULLs (the join
+        kernels pre-filter NULL rows, which would invalidate positions).
+        """
+        cached = self.cached_index(column_name)
+        if cached is not None:
+            return cached
+        col = self.column(column_name)
+        if col.sql_type == TEXT or col.mask is not None:
+            return None
+        index = build_key_index(col.values)
+        self._indexes[column_name] = (self.version, index)
+        return index
 
 
 class Catalog:

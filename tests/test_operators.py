@@ -1,14 +1,24 @@
-"""Property tests for the vectorised relational operator kernels."""
+"""Property tests for the vectorised relational operator kernels.
+
+The hash/dictionary kernels are *plan-stable*: whatever path the dispatch
+picks (dense direct-address, cached sorted index, sort-merge fallback),
+the returned index arrays must be identical — element for element — to the
+sort-merge reference.  The ``*_agrees_with_reference`` tests pin that down
+over randomized inputs covering dense and sparse key ranges, duplicates,
+NULLs, empties, and multi-column/text fallback."""
 
 import numpy as np
 from hypothesis import given, strategies as st
 
 from repro.sqlengine.operators import (
     NO_MATCH,
+    build_key_index,
     distinct_rows,
     group_rows,
     join_indices,
     left_join_indices,
+    merge_join_indices,
+    sorted_group_rows,
 )
 from repro.sqlengine.types import Column
 
@@ -144,3 +154,149 @@ def test_distinct_treats_nulls_as_equal():
     a = int_column([5, 5, 5], mask_positions=[0, 2])
     kept = distinct_rows([a])
     assert kept.shape[0] == 2  # one NULL row + one 5 row
+
+
+# ---------------------------------------------------------------------------
+# hash kernels vs. the sort-merge reference
+# ---------------------------------------------------------------------------
+
+#: Key regimes the dispatch must handle: dense small ranges (vertex IDs),
+#: sparse 64-bit values (randomised representatives), and negatives.
+dense_keys = st.lists(st.integers(min_value=-3, max_value=40), max_size=60)
+sparse_keys = st.lists(
+    st.integers(min_value=-(2 ** 62), max_value=2 ** 62), max_size=60
+)
+any_keys = st.one_of(dense_keys, sparse_keys)
+
+
+def assert_same_pairs(got, expected):
+    """Exact equality including order — the kernels must be plan-stable."""
+    assert np.array_equal(got[0], expected[0])
+    assert np.array_equal(got[1], expected[1])
+
+
+@given(any_keys, any_keys)
+def test_hash_join_agrees_with_reference(left, right):
+    lcol, rcol = int_column(left), int_column(right)
+    expected = merge_join_indices([lcol], [rcol])
+    assert_same_pairs(join_indices([lcol], [rcol]), expected)
+    # And with pre-built indexes on either or both sides.
+    l_index = build_key_index(lcol.values)
+    r_index = build_key_index(rcol.values)
+    assert_same_pairs(join_indices([lcol], [rcol], right_index=r_index), expected)
+    assert_same_pairs(
+        join_indices([lcol], [rcol], left_index=l_index, right_index=r_index),
+        expected,
+    )
+
+
+@given(any_keys, any_keys)
+def test_hash_left_join_agrees_with_reference(left, right):
+    lcol, rcol = int_column(left), int_column(right)
+    r_index = build_key_index(rcol.values)
+    expected = left_join_indices([lcol], [rcol])
+    got = left_join_indices([lcol], [rcol], right_index=r_index)
+    assert_same_pairs(got, expected)
+
+
+@given(dense_keys, dense_keys, st.data())
+def test_hash_join_with_nulls_agrees_with_reference(left, right, data):
+    left_nulls = data.draw(
+        st.sets(st.integers(min_value=0, max_value=max(len(left) - 1, 0)))
+        if left else st.just(set())
+    )
+    right_nulls = data.draw(
+        st.sets(st.integers(min_value=0, max_value=max(len(right) - 1, 0)))
+        if right else st.just(set())
+    )
+    lcol = int_column(left, mask_positions=sorted(left_nulls))
+    rcol = int_column(right, mask_positions=sorted(right_nulls))
+    expected = merge_join_indices([lcol], [rcol])
+    assert_same_pairs(join_indices([lcol], [rcol]), expected)
+
+
+def test_join_ignores_index_when_nulls_were_filtered():
+    # The index describes unfiltered row positions; the kernel must drop it
+    # once NULL rows are removed rather than produce misaligned matches.
+    rcol = int_column([5, 6, 7], mask_positions=[0])
+    stale_index = build_key_index(rcol.values)  # built over all three rows
+    lcol = int_column([5, 6, 7])
+    l_idx, r_idx = join_indices([lcol], [rcol], right_index=stale_index)
+    assert sorted(zip(l_idx.tolist(), r_idx.tolist())) == [(1, 1), (2, 2)]
+
+
+@given(any_keys)
+def test_distinct_agrees_with_reference(keys):
+    column = int_column(keys)
+    expected_order, expected_starts = sorted_group_rows([column])
+    expected = expected_order[expected_starts] if expected_order.size else \
+        expected_order
+    got = distinct_rows([column])
+    assert np.array_equal(got, expected)
+
+
+@given(any_keys)
+def test_distinct_with_index_agrees(keys):
+    column = int_column(keys)
+    index = build_key_index(column.values)
+    assert np.array_equal(distinct_rows([column], index=index),
+                          distinct_rows([column]))
+
+
+def test_distinct_text_fallback():
+    col = Column(np.array(["b", "a", "b", "c", "a"], dtype=object), "text")
+    kept = distinct_rows([col])
+    assert sorted(col.values[kept].tolist()) == ["a", "b", "c"]
+
+
+@given(any_keys, dense_keys)
+def test_multi_column_distinct_agrees_with_reference(a_keys, b_keys):
+    n = min(len(a_keys), len(b_keys))
+    a, b = int_column(a_keys[:n]), int_column(b_keys[:n])
+    expected_order, expected_starts = sorted_group_rows([a, b])
+    expected = expected_order[expected_starts] if expected_order.size else \
+        expected_order
+    assert np.array_equal(distinct_rows([a, b]), expected)
+
+
+@given(any_keys)
+def test_group_rows_agrees_with_reference(keys):
+    column = int_column(keys)
+    expected = sorted_group_rows([column])
+    got = group_rows([column])
+    assert np.array_equal(got[0], expected[0])
+    assert np.array_equal(got[1], expected[1])
+    index = build_key_index(column.values)
+    with_index = group_rows([column], index=index)
+    assert np.array_equal(with_index[0], expected[0])
+    assert np.array_equal(with_index[1], expected[1])
+
+
+@given(dense_keys, dense_keys)
+def test_multi_column_group_agrees_with_reference(a_keys, b_keys):
+    n = min(len(a_keys), len(b_keys))
+    a, b = int_column(a_keys[:n]), int_column(b_keys[:n])
+    expected = sorted_group_rows([a, b])
+    got = group_rows([a, b])
+    assert np.array_equal(got[0], expected[0])
+    assert np.array_equal(got[1], expected[1])
+
+
+def test_extreme_key_ranges_do_not_alias():
+    # lk - rmin would wrap around int64 here; the bounds check must happen
+    # on original values so no phantom matches appear.
+    lo, hi = -(2 ** 62) * 3 // 2, 2 ** 62 * 3 // 2
+    left = int_column([lo, 0, hi])
+    right = int_column([hi, hi - 1])
+    expected = merge_join_indices([left], [right])
+    got = join_indices([left], [right],
+                       right_index=build_key_index(right.values))
+    assert_same_pairs(got, expected)
+
+
+def test_key_index_stats():
+    index = build_key_index(np.array([7, 3, 9, 3], dtype=np.int64))
+    assert not index.is_unique
+    assert (index.min_value, index.max_value) == (3, 9)
+    unique = build_key_index(np.array([4, 2, 8], dtype=np.int64))
+    assert unique.is_unique
