@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-unit bench bench-quick bench-engine clean
+.PHONY: test test-unit bench bench-quick bench-engine bench-compare clean
 
 ## tier-1: the full unit + benchmark collection, fail-fast
 test:
@@ -26,6 +26,13 @@ bench-quick:
 bench-engine:
 	$(PYTHON) -m pytest -q benchmarks/test_bench_engine_microbench.py
 
+## diff fresh BENCH_engine.json against the committed baseline (informational)
+bench-compare:
+	$(PYTHON) scripts/bench_compare.py benchmarks/baselines/BENCH_engine.json \
+		benchmarks/results/BENCH_engine.json
+
+# benchmarks/results is regenerated scratch output; the committed
+# comparison baseline lives in benchmarks/baselines/ and is never cleaned.
 clean:
 	rm -rf benchmarks/results .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

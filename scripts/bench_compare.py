@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Diff a fresh BENCH_engine.json against the committed baseline.
+
+Usage: bench_compare.py <baseline.json> <fresh.json>
+
+Prints per-metric deltas (numbers only, flattened by dotted path).  The
+comparison is informational: it always exits 0, so CI surfaces regressions
+without gating on timing noise.  Seconds-valued metrics show speed deltas
+(negative = faster); rates and counters show absolute change.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def flatten(node, prefix: str = "") -> dict[str, float]:
+    out: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten(value, path))
+    elif isinstance(node, bool):
+        pass
+    elif isinstance(node, (int, float)):
+        out[prefix] = float(node)
+    return out
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 0
+    baseline_path, fresh_path = Path(argv[1]), Path(argv[2])
+    if not baseline_path.exists():
+        print(f"bench-compare: no baseline at {baseline_path} — nothing to "
+              f"compare (commit one from benchmarks/results/)")
+        return 0
+    if not fresh_path.exists():
+        print(f"bench-compare: no fresh results at {fresh_path} — run "
+              f"`make bench-engine` first")
+        return 0
+    baseline = flatten(json.loads(baseline_path.read_text()))
+    fresh = flatten(json.loads(fresh_path.read_text()))
+    width = max((len(k) for k in baseline | fresh), default=10)
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'fresh':>12}  {'delta':>8}")
+    for key in sorted(baseline | fresh):
+        old = baseline.get(key)
+        new = fresh.get(key)
+        if old is None:
+            print(f"{key:<{width}}  {'-':>12}  {new:>12.6g}  {'new':>8}")
+        elif new is None:
+            print(f"{key:<{width}}  {old:>12.6g}  {'-':>12}  {'gone':>8}")
+        else:
+            if old:
+                delta = f"{(new - old) / abs(old) * 100:+.1f}%"
+            else:
+                delta = "+inf%" if new else "0.0%"
+            print(f"{key:<{width}}  {old:>12.6g}  {new:>12.6g}  {delta:>8}")
+    print("\nbench-compare is informational; timing metrics are in seconds "
+          "(negative delta = faster).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -165,7 +165,9 @@ def _split_statements(sql: str) -> list[str]:
         current.append(ch)
         i += 1
     statements.append("".join(current))
-    return [s for s in statements if s.strip()]
+    # Strip surrounding whitespace: template normalisation is text-exact,
+    # so " select ..." and "select ..." would otherwise cache separately.
+    return [s.strip() for s in statements if s.strip()]
 
 
 def _cmd_sql(args: argparse.Namespace) -> int:
@@ -201,7 +203,37 @@ def _cmd_sql(args: argparse.Namespace) -> int:
           f"plan cache {stats.plan_cache_hits}/{stats.plan_cache_hits + stats.plan_cache_misses} hit, "
           f"index cache {stats.index_cache_hits} hits, "
           f"motion {bytes_to_human(stats.motion_bytes)}")
+    if args.stats:
+        print(render_engine_stats(stats))
     return 0
+
+
+def render_engine_stats(stats) -> str:
+    """Full EngineStats counter dump for ``repro sql --stats``."""
+    planned = stats.physical_plan_hits + stats.physical_plan_misses
+    lines = [
+        "engine statistics:",
+        f"  queries            : {stats.queries}",
+        f"  rows written       : {stats.rows_written:,}",
+        f"  bytes written      : {bytes_to_human(stats.bytes_written)}",
+        f"  peak live space    : {bytes_to_human(stats.peak_live_bytes)}",
+        f"  data motion        : {bytes_to_human(stats.motion_bytes)}"
+        f"  (broadcast {bytes_to_human(stats.broadcast_bytes)})",
+        f"  plan cache         : {stats.plan_cache_hits} hits / "
+        f"{stats.plan_cache_misses} misses",
+        f"  physical plans     : {stats.physical_plan_hits} hits / "
+        f"{stats.physical_plan_misses} misses / "
+        f"{stats.physical_plan_invalidations} invalidated"
+        + (f"  (hit rate {stats.physical_plan_hits / planned:.1%})"
+           if planned else ""),
+        f"  index cache        : {stats.index_cache_hits} hits / "
+        f"{stats.index_cache_misses} misses",
+        f"  joins pruned       : {stats.joins_pruned}",
+        f"  fused pipelines    : {stats.fused_pipelines}",
+        f"  group sorts skipped: {stats.group_sorts_skipped}",
+        f"  parallel partitions: {stats.parallel_partitions}",
+    ]
+    return "\n".join(lines)
 
 
 def _cmd_gamma(args: argparse.Namespace) -> int:
@@ -264,6 +296,10 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--scale", type=float, default=0.25)
     sql.add_argument("--max-rows", type=int, default=25,
                      help="rows of each result to materialise and print")
+    sql.add_argument("--stats", action="store_true",
+                     help="print the full EngineStats counter dump "
+                          "(plan/physical-plan/index caches, fused pipelines, "
+                          "motion) after execution")
     sql.set_defaults(fn=_cmd_sql)
 
     gamma = sub.add_parser("gamma", help="measure the contraction factor")

@@ -76,11 +76,15 @@ class SparkExecutor(Executor):
     # -- kernels: hash-partitioned per-task execution ------------------------
 
     def _join_kernel(self, left_keys, right_keys, left_index=None,
-                     right_index=None):
+                     right_index=None, note=None):
+        if note is not None:
+            note.append("spark-partitioned")
         return self._partitioned_join(left_keys, right_keys, outer=False)
 
     def _left_join_kernel(self, left_keys, right_keys, left_index=None,
-                          right_index=None):
+                          right_index=None, note=None):
+        if note is not None:
+            note.append("spark-partitioned")
         return self._partitioned_join(left_keys, right_keys, outer=True)
 
     def _partitioned_join(self, left_keys, right_keys, outer: bool):

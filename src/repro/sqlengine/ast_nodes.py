@@ -22,9 +22,15 @@ class Param:
     Never survives to execution: the plan cache substitutes the statement's
     actual constants into its template AST before handing it to the
     executor (see :mod:`repro.sqlengine.plancache`).
+
+    ``negated`` marks a placeholder behind a unary minus: the parser folds
+    ``-<int>`` into a negative literal, so ``-$k`` must patch to the folded
+    form for template verification to hold (the randomisation constants of
+    the reproduced algorithms are negative half the time).
     """
 
     index: int
+    negated: bool = False
 
 
 @dataclass(frozen=True)

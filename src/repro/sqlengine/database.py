@@ -17,7 +17,7 @@ import numpy as np
 from .errors import CatalogError, ExecutionError
 from .executor import Executor, Relation
 from .functions import FunctionRegistry
-from .mpp import Cluster
+from .mpp import Cluster, SegmentPool
 from .parser import parse_script, parse_statement
 from .plancache import PlanCache
 from .stats import EngineStats
@@ -79,14 +79,30 @@ class Database:
         broadcast_row_limit: int = 4096,
         use_plan_cache: bool = True,
         use_index_cache: bool = True,
+        use_physical_plans: bool = True,
+        use_fusion: bool = True,
+        parallel: Optional[bool] = None,
     ):
         self.catalog = Catalog()
         self.registry = FunctionRegistry()
         self.cluster = Cluster(n_segments, broadcast_row_limit)
         self.stats = EngineStats(space_budget_bytes)
+        #: Segment-parallel kernel execution.  ``None`` auto-sizes the pool
+        #: to min(n_segments, cpu_count) — single-core hosts keep the plain
+        #: kernels; ``True`` forces one worker per segment (tests exercise
+        #: the parallel code path deterministically); ``False`` disables it.
+        if parallel is False:
+            self.pool = None
+        elif parallel is True:
+            self.pool = SegmentPool(n_segments, max_workers=n_segments)
+        else:
+            self.pool = SegmentPool(n_segments)
         self._executor = Executor(self.catalog, self.registry, self.cluster,
-                                  self.stats, use_index_cache=use_index_cache)
+                                  self.stats, use_index_cache=use_index_cache,
+                                  pool=self.pool, use_fusion=use_fusion)
         self._plans: Optional[PlanCache] = PlanCache() if use_plan_cache else None
+        #: Cache compiled physical plans on statement templates.
+        self._use_physical_plans = use_physical_plans
 
     # -- SQL ------------------------------------------------------------
 
@@ -96,19 +112,25 @@ class Database:
         Statements are parsed through the plan cache: repeated statement
         *templates* (same SQL up to table-name suffixes and integer
         constants — every per-round query of the reproduced algorithms)
-        reuse the cached AST instead of re-lexing and re-parsing.
+        reuse the cached AST instead of re-lexing and re-parsing, and the
+        template entry also carries the statement's compiled physical plan
+        so re-executions skip planning entirely (see
+        :mod:`repro.sqlengine.physicalplan`).
         """
+        entry = None
         if self._plans is not None:
-            statement, cache_hit = self._plans.statement_for(sql)
+            statement, cache_hit, entry = self._plans.entry_for(sql)
             if cache_hit:
                 self.stats.record_plan_cache_hit()
             else:
                 self.stats.record_plan_cache_miss()
         else:
             statement = parse_statement(sql)
+        if not self._use_physical_plans:
+            entry = None
         self.stats.begin_statement()
         started = time.perf_counter()
-        relation, rowcount = self._executor.execute(statement)
+        relation, rowcount = self._executor.execute(statement, plan_slot=entry)
         elapsed = time.perf_counter() - started
         self.stats.end_statement(label or type(statement).__name__, sql, rowcount,
                                  elapsed)
@@ -170,6 +192,24 @@ class Database:
             return
         table = self.catalog.drop(name)
         self.stats.record_table_dropped(table.byte_size())
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the segment-parallel worker threads.
+
+        The database stays usable afterwards — the pool re-creates its
+        threads on the next parallel kernel — but long-lived processes
+        creating many Database instances should close each when done.
+        """
+        if self.pool is not None:
+            self.pool.shutdown()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- accounting -----------------------------------------------------------
 

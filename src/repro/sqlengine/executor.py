@@ -1,15 +1,17 @@
-"""Statement execution: planning and running parsed SQL.
+"""Statement execution: running compiled physical plans.
 
-The executor turns parsed statements into vectorised operator pipelines:
-
-1. FROM items resolve to :class:`Frame` objects (column bundles keyed by
-   ``binding.column``);
-2. WHERE/ON conjuncts are classified into per-table filters (pushed below
-   joins), equi-join edges, and residual post-join filters;
-3. frames are joined greedily along equi-join edges — a deliberately simple
-   but real query optimiser, the component the paper credits for much of
-   the in-database performance;
-4. grouping/aggregation, DISTINCT and projection run on the joined frame.
+Planning and execution are now separate layers.  The planner
+(:mod:`repro.sqlengine.physicalplan`) turns a parsed statement into a
+:class:`~repro.sqlengine.physicalplan.PhysicalPlan` — resolved FROM items,
+predicate classification (per-table filters pushed below the joins,
+equi-join edges, residual post-join filters), the greedy join order the
+paper credits for much of the in-database performance, per-step column
+gathers, compiled distribution sets for the motion verdicts, and fused
+pipelines.  The executor here runs those plans: per statement *template*
+the plan is compiled once, cached next to the template's AST, cheaply
+re-validated against table schemas, and re-executed with only parameter
+patching — the per-round statements of the reproduced algorithms stop
+paying any planning cost.
 
 Join and group execution is *index-aware*.  Base-table frames carry
 provenance (``Frame.sources``): as long as a frame is an unfiltered scan of
@@ -17,27 +19,33 @@ a stored table, its columns are traceable back to that table, and keyed
 operators consult the table's versioned index cache
 (:meth:`~repro.sqlengine.table.Table.ensure_index`).  A cached
 :class:`~repro.sqlengine.operators.KeyIndex` supplies the build side of a
-join pre-sorted (with uniqueness and min/max stats), so the second and
-third join against the same table — the paper's per-round ``reps`` pattern
-— skips its sort entirely.  The stats also drive **join pruning**: when
-both sides' key ranges are provably disjoint, the executor emits an empty
-result without running the kernel *and without charging the data motion* a
-stats-blind planner would have paid.  Cache traffic is counted in
-:class:`~repro.sqlengine.stats.EngineStats` (``index_cache_hits``/
-``index_cache_misses``/``joins_pruned``).
+join pre-sorted (with uniqueness, sortedness and min/max stats), so the
+second and third join against the same table — the paper's per-round
+``reps`` pattern — skips its sort entirely; a GROUP BY over a column the
+index proves pre-sorted on disk skips both its sort and its gather.  The
+stats also drive **join pruning**: when both sides' key ranges are provably
+disjoint, the executor emits an empty result without running the kernel
+*and without charging the data motion* a stats-blind planner would have
+paid.
+
+Kernels run **segment-parallel** when a
+:class:`~repro.sqlengine.mpp.SegmentPool` is attached and the input is
+large enough: joins and aggregations hash-partition their rows by the
+cluster's splitmix64 segment assignment and execute partitions on worker
+threads, with output bit-identical to the single-threaded kernels (see
+:mod:`repro.sqlengine.parallel`).
 
 MPP accounting happens where a real MPP executor would move data: a join or
 aggregation whose input is not already distributed on its key charges a
 redistribution (or a broadcast for small inputs) to the engine statistics.
-
-Distribution is tracked as a *set* of equivalent column names: after an
-inner join on ``l.k = r.v`` the result is hash-distributed on the common key
-value, so both ``l.k`` and ``r.v`` count as its distribution columns.
+Distribution is tracked as a *set* of equivalent column names, compiled
+into the plan: after an inner join on ``l.k = r.v`` the result is
+hash-distributed on the common key value, so both ``l.k`` and ``r.v`` count
+as its distribution columns.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -52,18 +60,13 @@ from .ast_nodes import (
     CreateTableAs,
     DropTable,
     Expression,
-    FromItem,
     InsertSelect,
     InsertValues,
-    Join,
-    Literal,
     Select,
     SelectCore,
     SelectItem,
     Star,
     Statement,
-    SubqueryRef,
-    TableRef,
     TruncateTable,
 )
 from .errors import CatalogError, ExecutionError, PlanError
@@ -71,13 +74,11 @@ from .expressions import (
     AMBIGUOUS,
     Environment,
     collect_aggregates,
-    collect_column_refs,
-    contains_aggregate,
     evaluate,
     truth_values,
 )
 from .functions import FunctionRegistry
-from .mpp import Cluster
+from .mpp import Cluster, SegmentPool
 from .operators import (
     NO_MATCH,
     KeyIndex,
@@ -85,6 +86,23 @@ from .operators import (
     group_rows,
     join_indices,
     left_join_indices,
+)
+from .parallel import (
+    PARALLEL_MIN_ROWS,
+    AggregateSpec,
+    parallel_group_aggregate,
+    parallel_join_indices,
+    parallel_left_join_indices,
+)
+from .physicalplan import (
+    CorePlan,
+    JoinStepPlan,
+    LeftJoinPlan,
+    PhysicalPlan,
+    ScanPlan,
+    SelectPlan,
+    compile_statement,
+    plan_is_valid,
 )
 from .stats import EngineStats
 from .table import Catalog, Table
@@ -198,6 +216,8 @@ class Executor:
         cluster: Cluster,
         stats: EngineStats,
         use_index_cache: bool = True,
+        pool: Optional[SegmentPool] = None,
+        use_fusion: bool = True,
     ):
         self.catalog = catalog
         self.registry = registry
@@ -207,6 +227,11 @@ class Executor:
         #: by backends that model index-less engines (the Spark comparison),
         #: and by tests that need the seed execution strategy.
         self.use_index_cache = use_index_cache
+        #: Segment-parallel kernel execution (None = single-threaded).
+        self.pool = pool
+        #: Compile plans with column pruning and fused join->DISTINCT;
+        #: False reproduces the seed's materialising pipeline.
+        self.use_fusion = use_fusion
 
     def _stored_index(
         self, frame: Frame, qualified_name: str, build: bool
@@ -238,10 +263,32 @@ class Executor:
     # operator kernels — overridable execution strategy
     #
     # The default engine runs each kernel once over whole columns (an MPP
-    # database's co-located, vectorised execution).  The Spark-SQL
-    # comparison backend (repro.spark) overrides these with partitioned,
-    # shuffle-everything equivalents.
+    # database's co-located, vectorised execution), switching to
+    # segment-parallel partitions for large inputs when a pool is attached.
+    # The Spark-SQL comparison backend (repro.spark) overrides these with
+    # partitioned, shuffle-everything equivalents.
     # ------------------------------------------------------------------
+
+    def _parallel_join_eligible(
+        self,
+        left_keys: list[Column],
+        right_keys: list[Column],
+        left_index: Optional[KeyIndex],
+        right_index: Optional[KeyIndex],
+    ) -> bool:
+        pool = self.pool
+        return (
+            pool is not None
+            and pool.n_workers > 1
+            and left_index is None
+            and right_index is None
+            and len(left_keys) == 1
+            and left_keys[0].mask is None
+            and right_keys[0].mask is None
+            and left_keys[0].values.dtype.kind == "i"
+            and right_keys[0].values.dtype.kind == "i"
+            and max(len(left_keys[0]), len(right_keys[0])) >= PARALLEL_MIN_ROWS
+        )
 
     def _join_kernel(
         self,
@@ -249,8 +296,13 @@ class Executor:
         right_keys: list[Column],
         left_index: Optional[KeyIndex] = None,
         right_index: Optional[KeyIndex] = None,
+        note: Optional[list] = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        return join_indices(left_keys, right_keys, left_index, right_index)
+        if self._parallel_join_eligible(left_keys, right_keys,
+                                        left_index, right_index):
+            self.stats.record_parallel_partitions(self.pool.n_segments)
+            return parallel_join_indices(left_keys, right_keys, self.pool, note)
+        return join_indices(left_keys, right_keys, left_index, right_index, note)
 
     def _left_join_kernel(
         self,
@@ -258,8 +310,15 @@ class Executor:
         right_keys: list[Column],
         left_index: Optional[KeyIndex] = None,
         right_index: Optional[KeyIndex] = None,
+        note: Optional[list] = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        return left_join_indices(left_keys, right_keys, left_index, right_index)
+        if self._parallel_join_eligible(left_keys, right_keys,
+                                        left_index, right_index):
+            self.stats.record_parallel_partitions(self.pool.n_segments)
+            return parallel_left_join_indices(left_keys, right_keys,
+                                              self.pool, note)
+        return left_join_indices(left_keys, right_keys, left_index,
+                                 right_index, note)
 
     def _group_kernel(
         self, key_columns: list[Column], index: Optional[KeyIndex] = None
@@ -273,19 +332,28 @@ class Executor:
     # statement dispatch
     # ------------------------------------------------------------------
 
-    def execute(self, statement: Statement) -> tuple[Optional[Relation], int]:
-        """Run one statement; returns (result relation or None, rowcount)."""
+    def execute(
+        self, statement: Statement, plan_slot=None
+    ) -> tuple[Optional[Relation], int]:
+        """Run one statement; returns (result relation or None, rowcount).
+
+        ``plan_slot`` is the statement's plan-cache template entry (if
+        any); the compiled physical plan is cached on it and reused while
+        its validity checks hold.
+        """
+        plan = self._physical_plan(statement, plan_slot)
+        select_plan = plan.select_plan if plan is not None else None
         if isinstance(statement, Select):
-            relation = self.run_select(statement)
+            relation = self.run_select(statement, select_plan)
             return relation, relation.n_rows
         if isinstance(statement, CreateTableAs):
-            return None, self._create_table_as(statement)
+            return None, self._create_table_as(statement, select_plan)
         if isinstance(statement, CreateTable):
             return None, self._create_table(statement)
         if isinstance(statement, InsertValues):
             return None, self._insert_values(statement)
         if isinstance(statement, InsertSelect):
-            return None, self._insert_select(statement)
+            return None, self._insert_select(statement, select_plan)
         if isinstance(statement, DropTable):
             return None, self._drop(statement)
         if isinstance(statement, AlterRename):
@@ -295,12 +363,41 @@ class Executor:
             return None, self._truncate(statement)
         raise ExecutionError(f"cannot execute {type(statement).__name__}")
 
+    def _physical_plan(
+        self, statement: Statement, plan_slot
+    ) -> Optional[PhysicalPlan]:
+        """Fetch the cached physical plan for a statement, or compile one.
+
+        Plans attach to the statement's template entry in the plan cache;
+        a cached plan is reused after a cheap validity check (bindings and
+        table schema fingerprints), re-compiled when it fails.
+        """
+        if not isinstance(statement, (Select, CreateTableAs, InsertSelect)):
+            return None
+        if plan_slot is not None:
+            cached = getattr(plan_slot, "physical", None)
+            if cached is not None and cached.statement is statement:
+                if plan_is_valid(cached, self.catalog):
+                    self.stats.record_physical_plan_hit()
+                    return cached
+                self.stats.record_physical_plan_invalidation()
+                plan_slot.physical = None
+        plan = compile_statement(statement, self.catalog, fuse=self.use_fusion)
+        if plan is None:
+            return None
+        self.stats.record_physical_plan_miss()
+        if plan_slot is not None and plan_slot.statement is statement:
+            plan_slot.physical = plan
+        return plan
+
     # ------------------------------------------------------------------
     # DDL / DML
     # ------------------------------------------------------------------
 
-    def _create_table_as(self, statement: CreateTableAs) -> int:
-        relation = self.run_select(statement.select)
+    def _create_table_as(
+        self, statement: CreateTableAs, plan: Optional[SelectPlan] = None
+    ) -> int:
+        relation = self.run_select(statement.select, plan)
         names = relation.display_names
         if len(set(names)) != len(names):
             raise PlanError(
@@ -346,7 +443,6 @@ class Executor:
             )
         env = Environment({}, 1, self.registry)
         per_column: dict[str, list] = {name: [] for name in target_columns}
-        masks: dict[str, list] = {name: [] for name in target_columns}
         for row in statement.rows:
             if len(row) != len(target_columns):
                 raise PlanError("INSERT row arity mismatch")
@@ -368,9 +464,11 @@ class Executor:
         self.stats.record_rows_appended(added, len(statement.rows))
         return len(statement.rows)
 
-    def _insert_select(self, statement: InsertSelect) -> int:
+    def _insert_select(
+        self, statement: InsertSelect, plan: Optional[SelectPlan] = None
+    ) -> int:
         table = self.catalog.get(statement.name)
-        relation = self.run_select(statement.select)
+        relation = self.run_select(statement.select, plan)
         target_columns = list(statement.columns or table.column_names)
         if len(relation.names) != len(target_columns):
             raise PlanError("INSERT ... SELECT arity mismatch")
@@ -399,8 +497,14 @@ class Executor:
     # SELECT pipeline
     # ------------------------------------------------------------------
 
-    def run_select(self, select: Select) -> Relation:
-        relations = [self._run_core(core) for core in select.cores]
+    def run_select(
+        self, select: Select, plan: Optional[SelectPlan] = None
+    ) -> Relation:
+        if plan is None or plan.select is not select:
+            compiled = compile_statement(select, self.catalog,
+                                         fuse=self.use_fusion)
+            plan = compiled.select_plan
+        relations = [self._run_core(core_plan) for core_plan in plan.cores]
         if len(relations) == 1:
             return relations[0]
         first = relations[0]
@@ -414,9 +518,12 @@ class Executor:
         return Relation(list(first.names), columns, None,
                         display_names=list(first.display_names))
 
-    def _run_core(self, core: SelectCore) -> Relation:
-        frame = self._build_from(core)
-        if core.group_by or any(contains_aggregate(i.expr) for i in core.items):
+    def _run_core(self, plan: CorePlan) -> Relation:
+        core = plan.core
+        if plan.fused is not None:
+            return self._run_fused_distinct(plan)
+        frame = self._execute_from(plan)
+        if plan.is_aggregate:
             relation = self._aggregate(core, frame)
         else:
             relation = self._project(core, frame)
@@ -424,120 +531,53 @@ class Executor:
             relation = self._distinct(relation)
         return relation
 
-    # -- FROM/JOIN construction ------------------------------------------
+    # -- plan execution: scans, joins, filters -----------------------------
 
-    def _build_from(self, core: SelectCore) -> Frame:
-        if not core.from_items:
+    def _execute_from(self, plan: CorePlan):
+        if not plan.scans:
             # SELECT without FROM: one anonymous row.
             return Frame({}, {}, 1, frozenset())
-        frames: dict[str, Frame] = {}
-        order: list[str] = []
-        for item in core.from_items:
-            frame = self._resolve_from_item(item)
-            binding = item.binding
-            if binding in frames:
-                raise PlanError(f"duplicate table binding {binding!r}")
-            frames[binding] = frame
-            order.append(binding)
-        inner_join_items: list[Join] = [j for j in core.joins if j.kind == "inner"]
-        left_joins: list[Join] = [j for j in core.joins if j.kind == "left"]
-        for join in inner_join_items:
-            binding = join.table.binding
-            if binding in frames:
-                raise PlanError(f"duplicate table binding {binding!r}")
-            frames[binding] = self._resolve_from_item(join.table)
-            order.append(binding)
-
-        predicates = _conjuncts(core.where)
-        for join in inner_join_items:
-            predicates.extend(_conjuncts(join.condition))
-
-        # Classify predicates.
-        filters: dict[str, list[Expression]] = {b: [] for b in order}
-        join_edges: list[tuple[str, str, ColumnRef, ColumnRef]] = []
-        residual: list[Expression] = []
-        binding_columns = {b: set(f.bindings[b]) for b, f in frames.items()}
-        for predicate in predicates:
-            touched = _bindings_of(predicate, binding_columns)
-            if len(touched) == 1 and next(iter(touched)) in filters:
-                # Single-table predicate on an inner-joined table: push it
-                # below the join.  (Predicates on LEFT JOIN bindings must
-                # stay residual — e.g. `where s.v is null` anti-joins.)
-                filters[next(iter(touched))].append(predicate)
-            elif _as_join_edge(predicate, binding_columns) is not None:
-                join_edges.append(_as_join_edge(predicate, binding_columns))
-            else:
-                residual.append(predicate)
-
-        # Push single-table filters below the joins.
-        for binding in order:
-            if filters[binding]:
-                frames[binding] = self._apply_filters(frames[binding], filters[binding])
-
-        current = frames[order[0]]
-        joined = {order[0]}
-        pending = [b for b in order[1:]]
-        unused_edges = list(join_edges)
-        while pending:
-            progressed = False
-            for binding in list(pending):
-                edges = [
-                    e for e in unused_edges
-                    if (_edge_bindings(e) == {binding} | (_edge_bindings(e) & joined))
-                    and binding in _edge_bindings(e)
-                    and len(_edge_bindings(e) & joined) == 1
-                ]
-                if not edges:
-                    continue
-                current = self._merge_inner(current, frames[binding], binding, edges)
-                joined.add(binding)
-                pending.remove(binding)
-                for e in edges:
-                    unused_edges.remove(e)
-                progressed = True
-                break
-            if not progressed:
-                binding = pending.pop(0)
-                current = self._cartesian(current, frames[binding], binding)
-                joined.add(binding)
-        # Edges between already-joined bindings become residual filters.
-        for left_ref, right_ref in [(e[2], e[3]) for e in unused_edges]:
-            residual.append(BinaryOp("=", left_ref, right_ref))
-
-        for join in left_joins:
-            current = self._merge_left(current, join)
-
-        if residual:
-            current = self._apply_filters(current, residual)
+        frames: dict[str, Frame] = {
+            scan.binding: self._scan_frame(scan) for scan in plan.scans
+        }
+        for scan in plan.scans:
+            if scan.filters:
+                frames[scan.binding] = self._apply_filters(
+                    frames[scan.binding], scan.filters
+                )
+        current = frames[plan.scans[0].binding]
+        steps = plan.steps if plan.fused is None else plan.steps[:-1]
+        for step in steps:
+            current = self._execute_step(current, frames[step.binding], step)
+        if plan.fused is not None:
+            return current, frames[plan.steps[-1].binding]
+        for left_join in plan.left_joins:
+            current = self._execute_left_join(current, left_join)
+        if plan.residual:
+            current = self._apply_filters(current, plan.residual)
         return current
 
-    def _resolve_from_item(self, item: FromItem) -> Frame:
-        if isinstance(item, TableRef):
-            table = self.catalog.get(item.name)
-            binding = item.binding
+    def _scan_frame(self, scan: ScanPlan) -> Frame:
+        binding = scan.binding
+        if scan.subplan is None:
+            table = self.catalog.get(scan.item.name)
             columns = {
-                f"{binding}.{name}": col for name, col in table.columns.items()
+                f"{binding}.{name}": table.column(name) for name in scan.columns
             }
-            distribution = frozenset(
-                {f"{binding}.{table.distribution_column}"}
-                if table.distribution_column
-                else set()
-            )
             sources = {
-                f"{binding}.{name}": (table, name) for name in table.columns
+                f"{binding}.{name}": (table, name) for name in scan.columns
             }
-            return Frame(columns, {binding: table.column_names}, table.n_rows,
-                         distribution, sources)
-        if isinstance(item, SubqueryRef):
-            relation = self.run_select(item.select)
-            binding = item.alias
-            columns = {f"{binding}.{n}": relation.columns[n] for n in relation.names}
-            distribution = frozenset(
-                {f"{binding}.{relation.distribution}"} if relation.distribution else set()
+            return Frame(columns, {binding: list(scan.columns)}, table.n_rows,
+                         scan.distribution, sources)
+        relation = self.run_select(scan.item.select, scan.subplan)
+        if tuple(relation.names) != scan.columns:
+            raise ExecutionError(
+                f"subquery {binding!r} produced columns {relation.names}, "
+                f"planned {list(scan.columns)}"
             )
-            return Frame(columns, {binding: list(relation.names)}, relation.n_rows,
-                         distribution)
-        raise PlanError(f"unsupported FROM item {type(item).__name__}")
+        columns = {f"{binding}.{n}": relation.columns[n] for n in relation.names}
+        return Frame(columns, {binding: list(relation.names)}, relation.n_rows,
+                     scan.distribution)
 
     def _apply_filters(self, frame: Frame, predicates: list[Expression]) -> Frame:
         env = Environment(frame.env_columns(), frame.length, self.registry)
@@ -576,55 +616,55 @@ class Executor:
                 plan.moved_bytes // self.cluster.n_segments, self.cluster.n_segments
             )
 
-    def _merge_inner(
-        self,
-        left: Frame,
-        right: Frame,
-        right_binding: str,
-        edges: list[tuple[str, str, ColumnRef, ColumnRef]],
-    ) -> Frame:
-        left_keys: list[Column] = []
-        right_keys: list[Column] = []
-        left_names: list[str] = []
-        right_names: list[str] = []
-        for _, _, ref_a, ref_b in edges:
-            # Orient each edge: one side references the right binding.
-            if _ref_binding(ref_b, right.bindings) == right_binding:
-                left_ref, right_ref = ref_a, ref_b
-            else:
-                left_ref, right_ref = ref_b, ref_a
-            lname = self._qualified(left_ref, left)
-            rname = self._qualified(right_ref, right)
-            left_keys.append(left.columns[lname])
-            right_keys.append(right.columns[rname])
-            left_names.append(lname)
-            right_names.append(rname)
+    def _join_step_indices(
+        self, left: Frame, right: Frame, step: JoinStepPlan
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run one compiled equi-join step's kernel (shared with fusion)."""
+        left_keys = [left.columns[name] for name in step.left_names]
+        right_keys = [right.columns[name] for name in step.right_names]
         left_index = right_index = None
-        if len(edges) == 1:
+        if len(step.left_names) == 1:
             # Single-column equi-join (the dominant shape): the build side
             # consults — and on a miss populates — its table's index cache;
             # the probe side only picks up a cached index (free stats).
-            right_index = self._stored_index(right, right_names[0], build=True)
-            left_index = self._stored_index(left, left_names[0], build=False)
+            right_index = self._stored_index(right, step.right_names[0],
+                                             build=True)
+            left_index = self._stored_index(left, step.left_names[0],
+                                            build=False)
         if _ranges_disjoint(left_index, right_index):
             # Provably empty join: skip the kernel and the data motion a
             # stats-blind planner would have charged for co-location.
             self.stats.record_join_pruned()
-            l_idx = r_idx = np.empty(0, dtype=np.int64)
-        else:
-            self._charge_join_motion(left, left_names)
-            self._charge_join_motion(right, right_names)
-            l_idx, r_idx = self._join_kernel(
-                left_keys, right_keys, left_index=left_index, right_index=right_index
-            )
-        columns = {name: col.take(l_idx) for name, col in left.columns.items()}
-        columns.update({name: col.take(r_idx) for name, col in right.columns.items()})
-        bindings = dict(left.bindings)
-        bindings.update(right.bindings)
-        distribution = frozenset(left_names) | frozenset(right_names)
-        return Frame(columns, bindings, int(l_idx.shape[0]), distribution)
+            step.kernel = "range-pruned"
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        self._charge_join_motion(left, step.left_names)
+        self._charge_join_motion(right, step.right_names)
+        note: list = []
+        l_idx, r_idx = self._join_kernel(
+            left_keys, right_keys, left_index=left_index,
+            right_index=right_index, note=note,
+        )
+        if note:
+            step.kernel = note[-1]
+        return l_idx, r_idx
 
-    def _cartesian(self, left: Frame, right: Frame, right_binding: str) -> Frame:
+    def _execute_step(
+        self, left: Frame, right: Frame, step: JoinStepPlan
+    ) -> Frame:
+        if step.cartesian:
+            return self._cartesian(left, right, step)
+        l_idx, r_idx = self._join_step_indices(left, right, step)
+        columns = {
+            name: left.columns[name].take(l_idx) for name in step.left_gather
+        }
+        columns.update({
+            name: right.columns[name].take(r_idx) for name in step.right_gather
+        })
+        return Frame(columns, step.out_bindings, int(l_idx.shape[0]),
+                     step.out_distribution)
+
+    def _cartesian(self, left: Frame, right: Frame, step: JoinStepPlan) -> Frame:
         total = left.length * right.length
         if total > MAX_CARTESIAN_ROWS:
             raise PlanError(
@@ -635,58 +675,35 @@ class Executor:
         r_idx = np.tile(np.arange(right.length), left.length)
         self._charge_join_motion(left, [])
         self._charge_join_motion(right, [])
-        columns = {name: col.take(l_idx) for name, col in left.columns.items()}
-        columns.update({name: col.take(r_idx) for name, col in right.columns.items()})
-        bindings = dict(left.bindings)
-        bindings.update(right.bindings)
-        return Frame(columns, bindings, total, frozenset())
+        step.kernel = "cartesian"
+        columns = {
+            name: left.columns[name].take(l_idx) for name in step.left_gather
+        }
+        columns.update({
+            name: right.columns[name].take(r_idx) for name in step.right_gather
+        })
+        return Frame(columns, step.out_bindings, total, frozenset())
 
-    def _merge_left(self, left: Frame, join: Join) -> Frame:
-        right = self._resolve_from_item(join.table)
-        binding = join.table.binding
-        if binding in left.bindings:
-            raise PlanError(f"duplicate table binding {binding!r}")
-        conjuncts = _conjuncts(join.condition)
-        binding_columns = {b: set(cols) for b, cols in left.bindings.items()}
-        binding_columns[binding] = set(right.bindings[binding])
-        left_keys: list[Column] = []
-        right_keys: list[Column] = []
-        left_names: list[str] = []
-        right_names: list[str] = []
-        residual: list[Expression] = []
-        for predicate in conjuncts:
-            edge = _as_join_edge(predicate, binding_columns)
-            if edge is None:
-                residual.append(predicate)
-                continue
-            _, _, ref_a, ref_b = edge
-            if _ref_binding(ref_b, {binding: right.bindings[binding]}) == binding:
-                left_ref, right_ref = ref_a, ref_b
-            elif _ref_binding(ref_a, {binding: right.bindings[binding]}) == binding:
-                left_ref, right_ref = ref_b, ref_a
-            else:
-                residual.append(predicate)
-                continue
-            left_names.append(self._qualified(left_ref, left))
-            right_names.append(self._qualified(right_ref, right))
-            left_keys.append(left.columns[left_names[-1]])
-            right_keys.append(right.columns[right_names[-1]])
-        if not left_keys:
-            raise PlanError("LEFT JOIN requires at least one equality condition")
-        if residual:
-            raise PlanError("non-equality LEFT JOIN conditions are not supported")
+    def _execute_left_join(self, left: Frame, plan: LeftJoinPlan) -> Frame:
+        right = self._scan_frame(plan.scan)
+        left_keys = [left.columns[name] for name in plan.left_names]
+        right_keys = [right.columns[name] for name in plan.right_names]
         right_index = None
         if len(left_keys) == 1:
-            right_index = self._stored_index(right, right_names[0], build=True)
-        self._charge_join_motion(left, left_names)
-        self._charge_join_motion(right, right_names)
+            right_index = self._stored_index(right, plan.right_names[0],
+                                             build=True)
+        self._charge_join_motion(left, plan.left_names)
+        self._charge_join_motion(right, plan.right_names)
         l_idx, r_idx = self._left_join_kernel(
             left_keys, right_keys, right_index=right_index
         )
-        columns = {name: col.take(l_idx) for name, col in left.columns.items()}
+        columns = {
+            name: left.columns[name].take(l_idx) for name in plan.left_gather
+        }
         unmatched = r_idx == NO_MATCH
         safe_idx = np.where(unmatched, 0, r_idx)
-        for name, col in right.columns.items():
+        for name in plan.right_gather:
+            col = right.columns[name]
             if right.length == 0:
                 gathered = Column.nulls(int(l_idx.shape[0]), col.sql_type)
             else:
@@ -694,10 +711,67 @@ class Executor:
                 mask = gathered.null_mask() | unmatched
                 gathered = Column(gathered.values, gathered.sql_type, mask)
             columns[name] = gathered
-        bindings = dict(left.bindings)
-        bindings.update(right.bindings)
-        distribution = frozenset(left_names)
-        return Frame(columns, bindings, int(l_idx.shape[0]), distribution)
+        return Frame(columns, plan.out_bindings, int(l_idx.shape[0]),
+                     plan.out_distribution)
+
+    # -- fused join -> DISTINCT --------------------------------------------
+
+    def _run_fused_distinct(self, plan: CorePlan) -> Relation:
+        """Run a compiled fused pipeline: final join, residual filter,
+        projection and DISTINCT in one pass over only the needed columns."""
+        left, right = self._execute_from(plan)
+        step = plan.steps[-1]
+        fused = plan.fused
+        l_idx, r_idx = self._join_step_indices(left, right, step)
+        columns = {
+            name: left.columns[name].take(l_idx) for name in fused.left_gather
+        }
+        columns.update({
+            name: right.columns[name].take(r_idx) for name in fused.right_gather
+        })
+        n_rows = int(l_idx.shape[0])
+        if plan.residual:
+            env_map: dict[str, Column] = dict(columns)
+            for bare, qualified in fused.bare_names.items():
+                env_map[bare] = columns[qualified]
+            env = Environment(env_map, n_rows, self.registry)
+            keep = np.ones(n_rows, dtype=bool)
+            for predicate in plan.residual:
+                keep &= truth_values(evaluate(predicate, env))
+            if not keep.all():
+                columns = {
+                    name: col.filter(keep) for name, col in columns.items()
+                }
+                n_rows = int(keep.sum())
+        out_columns = {
+            key: columns[qualified]
+            for key, qualified in zip(fused.out_keys, fused.out_quals)
+        }
+        self.stats.record_fused_pipeline()
+        relation = Relation(list(fused.out_keys), out_columns,
+                            fused.out_distribution,
+                            display_names=list(fused.display))
+        key_columns = [out_columns[key] for key in fused.out_keys]
+        if not key_columns or n_rows == 0:
+            return relation
+        # DISTINCT with the same motion accounting the staged pipeline pays.
+        colocated = fused.out_distribution is not None
+        motion = self.cluster.plan_motion(relation.byte_size(), n_rows,
+                                          colocated)
+        if motion.kind == "redistribute":
+            self.stats.record_redistribution(motion.moved_bytes)
+        elif motion.kind == "broadcast":
+            self.stats.record_broadcast(
+                motion.moved_bytes // self.cluster.n_segments,
+                self.cluster.n_segments,
+            )
+        keep_idx = np.sort(self._distinct_kernel(key_columns))
+        deduped = {
+            key: out_columns[key].take(keep_idx) for key in fused.out_keys
+        }
+        # The staged pipeline's _distinct rebuilds the relation without
+        # display names; mirror that so both paths are indistinguishable.
+        return Relation(list(fused.out_keys), deduped, fused.out_distribution)
 
     # -- projection / aggregation / distinct -------------------------------
 
@@ -745,6 +819,64 @@ class Executor:
                 break
         return Relation(names, columns, distribution, display_names=display)
 
+    def _parallel_aggregate(
+        self,
+        key_columns: list[Column],
+        aggregates: list[Aggregate],
+        env: Environment,
+        frame: Frame,
+    ) -> Optional[tuple[Column, dict, int]]:
+        """Partial-then-final aggregation over segment partitions.
+
+        Returns (grouped key column, per-node results, group count), or
+        ``None`` when the shape is outside the parallel kernel (which then
+        runs the classic path — including its error reporting)."""
+        pool = self.pool
+        if pool is None or pool.n_workers <= 1:
+            return None
+        if len(key_columns) != 1 or frame.length < PARALLEL_MIN_ROWS:
+            return None
+        key = key_columns[0]
+        if key.mask is not None or key.values.dtype.kind != "i":
+            return None
+        specs: list[AggregateSpec] = []
+        for node in aggregates:
+            if node.distinct:
+                return None
+            if node.name == "count" and node.arg is None:
+                specs.append(AggregateSpec("count*"))
+                continue
+            if node.name not in ("count", "min", "max", "sum", "avg"):
+                return None
+            if node.arg is None:
+                return None
+            argument = evaluate(node.arg, env)
+            if node.name != "count" and argument.sql_type not in (
+                INT64, FLOAT64, BOOL
+            ):
+                return None
+            if argument.values.dtype == object:
+                return None
+            specs.append(AggregateSpec(node.name, argument.values,
+                                       argument.mask, argument.sql_type))
+        unique_keys, results = parallel_group_aggregate(
+            key.values, specs, pool
+        )
+        self.stats.record_parallel_partitions(pool.n_segments)
+        agg_results: dict[Aggregate, Column] = {}
+        for node, spec, (values, mask) in zip(aggregates, specs, results):
+            if spec.kind in ("count*", "count"):
+                agg_results[node] = Column(values, INT64)
+            elif spec.kind in ("min", "max"):
+                agg_results[node] = Column(values, spec.sql_type, mask)
+            elif spec.kind == "sum":
+                sql_type = INT64 if spec.sql_type == INT64 else FLOAT64
+                agg_results[node] = Column(values, sql_type, mask)
+            else:  # avg
+                agg_results[node] = Column(values, FLOAT64, mask)
+        grouped_key = Column(unique_keys, key.sql_type)
+        return grouped_key, agg_results, int(unique_keys.shape[0])
+
     def _aggregate(self, core: SelectCore, frame: Frame) -> Relation:
         env = Environment(frame.env_columns(), frame.length, self.registry)
         group_refs: list[ColumnRef] = []
@@ -754,6 +886,12 @@ class Executor:
             group_refs.append(expr)
         key_columns = [env.lookup(ref) for ref in group_refs]
 
+        aggregates: list[Aggregate] = []
+        for item in core.items:
+            collect_aggregates(item.expr, aggregates)
+
+        parallel = None
+        presorted = False
         if key_columns:
             group_index = None
             if len(group_refs) == 1:
@@ -763,9 +901,26 @@ class Executor:
                 group_index = self._stored_index(
                     frame, self._qualified(group_refs[0], frame), build=True
                 )
-            order, starts = self._group_kernel(key_columns, index=group_index)
-            n_groups = int(starts.shape[0])
-            counts = np.diff(np.append(starts, order.shape[0]))
+            if group_index is None:
+                parallel = self._parallel_aggregate(
+                    key_columns, aggregates, env, frame
+                )
+            if parallel is None:
+                order, starts = self._group_kernel(key_columns,
+                                                   index=group_index)
+                # A cached index that proves the key pre-sorted on disk
+                # returned the identity order: skip the aggregate gathers.
+                presorted = (
+                    group_index is not None
+                    and group_index.is_sorted
+                    and order is group_index.order
+                )
+                if presorted:
+                    self.stats.record_group_sort_skipped()
+                n_groups = int(starts.shape[0])
+                counts = np.diff(np.append(starts, order.shape[0]))
+            else:
+                grouped_key, parallel_results, n_groups = parallel
         else:
             order = np.arange(frame.length)
             starts = np.zeros(1, dtype=np.int64)
@@ -785,21 +940,28 @@ class Executor:
                     self.cluster.n_segments,
                 )
 
-        aggregates: list[Aggregate] = []
-        for item in core.items:
-            collect_aggregates(item.expr, aggregates)
         agg_results: dict[Aggregate, Column] = {}
-        for node in aggregates:
-            agg_results[node] = self._compute_aggregate(
-                node, env, frame, order, starts, counts, n_groups, key_columns
-            )
+        if parallel is not None:
+            agg_results = parallel_results
+        else:
+            for node in aggregates:
+                agg_results[node] = self._compute_aggregate(
+                    node, env, frame, order, starts, counts, n_groups,
+                    key_columns, presorted,
+                )
 
         group_env_columns: dict[str, Column] = {}
-        for ref, column in zip(group_refs, key_columns):
-            grouped = column.take(order[starts]) if n_groups else column.take(starts)
-            qualified = self._qualified(ref, frame)
-            group_env_columns[qualified] = grouped
-            group_env_columns.setdefault(ref.name, grouped)
+        if parallel is not None:
+            for ref in group_refs:
+                qualified = self._qualified(ref, frame)
+                group_env_columns[qualified] = grouped_key
+                group_env_columns.setdefault(ref.name, grouped_key)
+        else:
+            for ref, column in zip(group_refs, key_columns):
+                grouped = column.take(order[starts]) if n_groups else column.take(starts)
+                qualified = self._qualified(ref, frame)
+                group_env_columns[qualified] = grouped
+                group_env_columns.setdefault(ref.name, grouped)
         group_env = Environment(
             group_env_columns, n_groups, self.registry, aggregates=agg_results
         )
@@ -862,6 +1024,7 @@ class Executor:
         counts: np.ndarray,
         n_groups: int,
         key_columns: list[Column],
+        presorted: bool = False,
     ) -> Column:
         if node.name == "count" and node.arg is None:
             return Column(counts.astype(np.int64), INT64)
@@ -878,8 +1041,14 @@ class Executor:
             if node.name == "count":
                 return Column(np.zeros(n_groups, dtype=np.int64), INT64)
             return Column.nulls(n_groups, argument.sql_type)
-        sorted_values = argument.values[order]
-        sorted_mask = argument.null_mask()[order]
+        if presorted:
+            # The cached index proved the input pre-grouped on disk: the
+            # grouping order is the identity and the gathers are no-ops.
+            sorted_values = argument.values
+            sorted_mask = argument.null_mask()
+        else:
+            sorted_values = argument.values[order]
+            sorted_mask = argument.null_mask()[order]
         valid_counts = np.add.reduceat(
             (~sorted_mask).astype(np.int64), starts
         ) if n_groups else np.zeros(0, dtype=np.int64)
@@ -963,7 +1132,7 @@ class Executor:
 
 
 # ---------------------------------------------------------------------------
-# predicate analysis helpers
+# index statistics helpers
 # ---------------------------------------------------------------------------
 
 
@@ -979,65 +1148,3 @@ def _ranges_disjoint(
         left_index.min_value > right_index.max_value
         or left_index.max_value < right_index.min_value
     )
-
-
-def _conjuncts(expr: Optional[Expression]) -> list[Expression]:
-    """Flatten a predicate into AND-connected conjuncts."""
-    if expr is None:
-        return []
-    if isinstance(expr, BinaryOp) and expr.op == "and":
-        return _conjuncts(expr.left) + _conjuncts(expr.right)
-    return [expr]
-
-
-def _ref_binding(ref: ColumnRef, bindings: dict[str, list[str]]) -> Optional[str]:
-    if ref.table is not None:
-        return ref.table if ref.table in bindings else None
-    owners = [b for b, cols in bindings.items() if ref.name in cols]
-    if len(owners) == 1:
-        return owners[0]
-    return None
-
-
-def _bindings_of(
-    expr: Expression, binding_columns: dict[str, set[str]]
-) -> set[str]:
-    refs: list[ColumnRef] = []
-    collect_column_refs(expr, refs)
-    touched: set[str] = set()
-    for ref in refs:
-        if ref.table is not None:
-            touched.add(ref.table)
-        else:
-            owners = [b for b, cols in binding_columns.items() if ref.name in cols]
-            if len(owners) == 1:
-                touched.add(owners[0])
-            else:
-                # Ambiguous or unknown: treat as touching everything so the
-                # predicate is applied after all joins (and resolution errors
-                # surface with a clear message there).
-                touched.update(binding_columns.keys())
-    return touched
-
-
-def _as_join_edge(
-    expr: Expression, binding_columns: dict[str, set[str]]
-) -> Optional[tuple[str, str, ColumnRef, ColumnRef]]:
-    """Return (binding_a, binding_b, ref_a, ref_b) for `a.x = b.y` predicates."""
-    if not (isinstance(expr, BinaryOp) and expr.op == "="):
-        return None
-    left, right = expr.left, expr.right
-    if not (isinstance(left, ColumnRef) and isinstance(right, ColumnRef)):
-        return None
-    bindings = {b: list(cols) for b, cols in binding_columns.items()}
-    left_binding = _ref_binding(left, bindings)
-    right_binding = _ref_binding(right, bindings)
-    if left_binding is None or right_binding is None:
-        return None
-    if left_binding == right_binding:
-        return None
-    return left_binding, right_binding, left, right
-
-
-def _edge_bindings(edge: tuple[str, str, ColumnRef, ColumnRef]) -> set[str]:
-    return {edge[0], edge[1]}

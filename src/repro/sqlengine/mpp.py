@@ -18,7 +18,10 @@ without changing any measured quantity.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +43,67 @@ def hash64(values: np.ndarray) -> np.ndarray:
     x *= _MIX_2
     x ^= x >> np.uint64(31)
     return x
+
+
+def partition_rows(values: np.ndarray, n_parts: int) -> list[np.ndarray]:
+    """Row indices per segment under splitmix64 hash distribution.
+
+    This is the same assignment :meth:`Cluster.segment_of` models for
+    tables; the segment-parallel kernels use it to split join/aggregation
+    work so that equal keys always land in the same partition.  Each
+    returned index array is increasing, so partition-local processing
+    preserves the rows' original relative order.
+    """
+    seg = (hash64(values) % np.uint64(n_parts)).astype(np.int64)
+    return [np.flatnonzero(seg == p) for p in range(n_parts)]
+
+
+class SegmentPool:
+    """A worker pool executing per-segment kernel partitions.
+
+    The pool mirrors the cluster layout: work is split into ``n_segments``
+    hash partitions and executed on up to ``min(n_segments, cpu_count)``
+    threads.  numpy releases the GIL inside its kernels, so partitions run
+    genuinely concurrently on multi-core hosts; on a single core the pool
+    reports ``n_workers == 1`` and the executor keeps the plain
+    single-threaded kernels (``max_workers`` forces a thread count for
+    tests that must exercise the parallel code path regardless).
+
+    The thread pool is created lazily on first use, so accounting-only
+    databases never spawn threads.
+    """
+
+    def __init__(self, n_segments: int, max_workers: Optional[int] = None):
+        if n_segments < 1:
+            raise ValueError("a segment pool needs at least one segment")
+        self.n_segments = n_segments
+        if max_workers is not None:
+            self.n_workers = max(1, min(n_segments, max_workers))
+        else:
+            self.n_workers = max(1, min(n_segments, os.cpu_count() or 1))
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Run ``fn`` over ``items``, in order; threaded when it can help."""
+        if self.n_workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_workers,
+                thread_name_prefix="repro-segment",
+            )
+        return list(self._pool.map(fn, items))
+
+    def shutdown(self) -> None:
+        """Release the worker threads (a later ``map`` re-creates them).
+
+        Idle workers also exit when the pool is garbage collected, but
+        long-lived processes juggling many databases should close them
+        deterministically via :meth:`Database.close`.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
 
 
 @dataclass(frozen=True)

@@ -76,7 +76,7 @@ class KeyIndex:
     """
 
     __slots__ = ("_values", "n_rows", "is_unique", "min_value", "max_value",
-                 "_order", "_sorted_values")
+                 "is_sorted", "_order", "_sorted_values")
 
     def __init__(
         self,
@@ -86,25 +86,37 @@ class KeyIndex:
         max_value: Optional[int],
         order: Optional[np.ndarray] = None,
         sorted_values: Optional[np.ndarray] = None,
+        is_sorted: bool = False,
     ):
         self._values = values
         self.n_rows = int(values.shape[0])
         self.is_unique = is_unique
         self.min_value = min_value
         self.max_value = max_value
+        #: True when the column is already non-decreasing on disk — the
+        #: stable argsort is then the identity, so sorted consumers (index
+        #: probes, GROUP BY) skip both the sort and the gather.  GROUP BY
+        #: output tables (the paper's per-round ``reps``) always qualify.
+        self.is_sorted = is_sorted
         self._order = order
         self._sorted_values = sorted_values
 
     @property
     def order(self) -> np.ndarray:
         if self._order is None:
-            self._order = np.argsort(self._values, kind="stable")
+            if self.is_sorted:
+                self._order = np.arange(self.n_rows, dtype=np.int64)
+            else:
+                self._order = np.argsort(self._values, kind="stable")
         return self._order
 
     @property
     def sorted_values(self) -> np.ndarray:
         if self._sorted_values is None:
-            self._sorted_values = self._values[self.order]
+            if self.is_sorted:
+                self._sorted_values = self._values
+            else:
+                self._sorted_values = self._values[self.order]
         return self._sorted_values
 
 
@@ -121,7 +133,8 @@ def build_key_index(values: np.ndarray) -> KeyIndex:
     if n == 0:
         empty = np.empty(0, dtype=np.int64)
         return KeyIndex(values, True, None, None, order=empty,
-                        sorted_values=values)
+                        sorted_values=values, is_sorted=True)
+    is_sorted = n < 2 or bool(np.all(values[1:] >= values[:-1]))
     if values.dtype.kind in "iu":
         min_value, max_value = int(values.min()), int(values.max())
         span = max_value - min_value + 1
@@ -130,9 +143,18 @@ def build_key_index(values: np.ndarray) -> KeyIndex:
             # join kernel will use direct addressing — defer the sort.
             counts = np.bincount(values - min_value)
             return KeyIndex(values, int(counts.max()) <= 1, min_value,
-                            max_value)
+                            max_value, is_sorted=is_sorted)
     else:
         min_value = max_value = None
+    if is_sorted:
+        # Pre-sorted storage (e.g. any GROUP BY output): the stable argsort
+        # is the identity, so sorted consumers are free.
+        sorted_values = values
+        is_unique = n < 2 or not bool(
+            (sorted_values[1:] == sorted_values[:-1]).any()
+        )
+        return KeyIndex(values, is_unique, min_value, max_value,
+                        sorted_values=sorted_values, is_sorted=True)
     order = np.argsort(values, kind="stable")
     sorted_values = values[order]
     is_unique = n < 2 or not bool(
@@ -199,6 +221,7 @@ def join_indices(
     right_keys: list[Column],
     left_index: Optional[KeyIndex] = None,
     right_index: Optional[KeyIndex] = None,
+    note: Optional[list] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Inner m:n equi-join; returns aligned (left_rows, right_rows).
 
@@ -208,6 +231,10 @@ def join_indices(
     kernel skip its build-side sort.  An index is ignored whenever the
     corresponding side had NULL rows filtered out, since its row numbering
     would no longer line up.
+
+    ``note``, when given, receives the name of the kernel strategy the
+    dispatch settled on (``"dense"``, ``"probe-sorted"``, ``"merge"`` ...) —
+    the executor records it on the statement's physical plan.
     """
     if len(left_keys) != len(right_keys) or not left_keys:
         raise ExecutionError("join requires matching non-empty key lists")
@@ -226,8 +253,10 @@ def join_indices(
         rk = rk[right_valid]
         right_index = None
     if lk.shape[0] == 0 or rk.shape[0] == 0:
+        if note is not None:
+            note.append("empty")
         return _empty_pair()
-    l_idx, r_idx = _join_core(lk, rk, left_index, right_index)
+    l_idx, r_idx = _join_core(lk, rk, left_index, right_index, note)
     return left_rows[l_idx], right_rows[r_idx]
 
 
@@ -264,13 +293,15 @@ def left_join_indices(
     right_keys: list[Column],
     left_index: Optional[KeyIndex] = None,
     right_index: Optional[KeyIndex] = None,
+    note: Optional[list] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Left outer m:n equi-join.
 
     Returns (left_rows, right_rows) where unmatched left rows appear exactly
     once with ``right_rows == NO_MATCH``.
     """
-    l_idx, r_idx = join_indices(left_keys, right_keys, left_index, right_index)
+    l_idx, r_idx = join_indices(left_keys, right_keys, left_index, right_index,
+                                note)
     n_left = len(left_keys[0])
     matched = np.zeros(n_left, dtype=bool)
     matched[l_idx] = True
@@ -287,10 +318,13 @@ def _join_core(
     rk: np.ndarray,
     left_index: Optional[KeyIndex],
     right_index: Optional[KeyIndex],
+    note: Optional[list] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Dispatch between the hash paths and the sort-merge fallback."""
     if lk.dtype.kind == "i" and rk.dtype.kind == "i":
-        return _hash_join_int(lk, rk, left_index, right_index)
+        return _hash_join_int(lk, rk, left_index, right_index, note)
+    if note is not None:
+        note.append("merge-indexed" if right_index is not None else "merge")
     if right_index is not None:
         return _merge_join(lk, rk, r_order=right_index.order)
     return _merge_join(lk, rk)
@@ -301,6 +335,7 @@ def _hash_join_int(
     rk: np.ndarray,
     left_index: Optional[KeyIndex],
     right_index: Optional[KeyIndex],
+    note: Optional[list] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Single-column integer join: dense direct-address or sorted-index probe."""
     n_right = int(rk.shape[0])
@@ -311,14 +346,24 @@ def _hash_join_int(
     # Key-range pruning: disjoint min/max ranges cannot produce matches.
     if left_index is not None and left_index.min_value is not None:
         if left_index.min_value > rmax or left_index.max_value < rmin:
+            if note is not None:
+                note.append("range-pruned")
             return _empty_pair()
     span = rmax - rmin + 1
     if span <= _dense_span_limit(n_right):
+        if note is not None:
+            note.append("dense")
         return _dense_join(lk, rk, rmin, span, right_index)
     if right_index is not None:
         if right_index.is_unique:
+            if note is not None:
+                note.append("probe-sorted")
             return _probe_unique_sorted(lk, right_index)
+        if note is not None:
+            note.append("merge-indexed")
         return _merge_join(lk, rk, r_order=right_index.order)
+    if note is not None:
+        note.append("merge")
     return _merge_join(lk, rk)
 
 
@@ -375,6 +420,9 @@ def _probe_unique_sorted(
     np.minimum(pos, sorted_values.shape[0] - 1, out=pos)
     match = sorted_values[pos] == lk
     l_idx = np.flatnonzero(match)
+    if right_index.is_sorted:
+        # Identity order: sorted positions are row numbers already.
+        return l_idx, pos[l_idx]
     return l_idx, right_index.order[pos[l_idx]]
 
 
@@ -503,10 +551,35 @@ def distinct_rows(
     if len(columns) == 1 and columns[0].mask is None \
             and columns[0].values.dtype.kind == "i":
         return _distinct_int(columns[0].values, index)
+    if (
+        len(columns) == 2
+        and all(c.mask is None and c.values.dtype.kind == "i" for c in columns)
+    ):
+        packed = _pack_int_pair(columns[0].values, columns[1].values)
+        if packed is not None:
+            # The packing is a bijection ordered like the (a, b) lexsort,
+            # so the single-column kernel returns the identical index set
+            # in the identical order as the group-based reference.
+            return _distinct_int(packed, None)
     order, starts = group_rows(columns, index=index)
     if order.size == 0:
         return order
     return order[starts]
+
+
+def _pack_int_pair(a: np.ndarray, b: np.ndarray) -> Optional[np.ndarray]:
+    """Pack two int64 columns into one when their spans fit 63 bits.
+
+    DISTINCT over two integer columns — the shape of every contraction
+    query's ``select distinct v1, v2`` — then runs the O(n) single-column
+    kernel instead of a lexsort over a structured view.
+    """
+    a_min, a_max = int(a.min()), int(a.max())
+    b_min, b_max = int(b.min()), int(b.max())
+    b_span = b_max - b_min + 1
+    if (a_max - a_min + 1) * b_span >= (1 << 62):  # Python ints: no overflow
+        return None
+    return (a - a_min) * np.int64(b_span) + (b - b_min)
 
 
 def _distinct_int(values: np.ndarray, index: Optional[KeyIndex]) -> np.ndarray:
@@ -529,5 +602,12 @@ def _distinct_int(values: np.ndarray, index: Optional[KeyIndex]) -> np.ndarray:
         # Scatter yields first occurrences ordered by key value — the same
         # set the sorted reference produces, in the same order.
         return firsts
-    _, first_positions = np.unique(values, return_index=True)
-    return first_positions.astype(np.int64, copy=False)
+    # Sparse keys: an *unstable* sort (numpy's introsort is ~4x faster than
+    # the stable radix argsort here) followed by a per-group position
+    # minimum.  The minimum of each equal-key run is its first original
+    # occurrence, so the result matches the stable reference exactly and
+    # arrives ordered by key value like the dense path.
+    order = np.argsort(values, kind="quicksort")
+    sorted_values = values[order]
+    starts = _boundaries(sorted_values)
+    return np.minimum.reduceat(order, starts)

@@ -1,0 +1,320 @@
+"""Segment-parallel kernel execution.
+
+The MPP model in :mod:`repro.sqlengine.mpp` assigns rows to segments with a
+splitmix64 hash of the key; until now that assignment was accounting-only
+and every kernel ran single-threaded over whole columns.  This module makes
+the segments real for the two operators that dominate the reproduced
+workloads: equi-joins and keyed aggregation.
+
+* :func:`parallel_join_indices` hash-partitions both join inputs by the
+  segment assignment (equal keys always co-locate), runs an independent
+  hash join per partition on a :class:`~repro.sqlengine.mpp.SegmentPool`
+  worker thread, and scatters the per-partition results into the exact
+  output order of the single-threaded kernel.
+
+* :func:`parallel_group_aggregate` is partial-then-final aggregation: each
+  partition groups its rows and computes complete per-key aggregates (all
+  rows of a key live in one partition, in their original relative order, so
+  even float sums reduce in the reference order), and the final step merges
+  the disjoint per-partition group lists by key.
+
+Both kernels are **bit-identical** to their single-threaded references —
+:func:`~repro.sqlengine.operators.join_indices` and
+:func:`group_aggregate` below — which the property tests enforce.  numpy
+releases the GIL inside its kernels, so partitions genuinely overlap on
+multi-core hosts; the executor only dispatches here above
+``PARALLEL_MIN_ROWS`` rows and when the pool has more than one worker.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .errors import ExecutionError
+from .mpp import SegmentPool, partition_rows
+from .operators import (
+    NO_MATCH,
+    _boundaries,
+    _empty_pair,
+    _hash_join_int,
+    join_indices,
+)
+from .types import INT64, Column
+
+#: Below this row count the partitioning overhead outweighs any overlap.
+PARALLEL_MIN_ROWS = 1 << 17
+
+#: Aggregate kinds the parallel partial-then-final path supports.
+PARALLEL_AGGREGATES = frozenset({"count*", "count", "min", "max", "sum", "avg"})
+
+
+def _parallel_eligible(columns: list[Column]) -> bool:
+    """Single int64-kind key column without NULLs."""
+    return (
+        len(columns) == 1
+        and columns[0].mask is None
+        and columns[0].values.dtype.kind == "i"
+    )
+
+
+# ---------------------------------------------------------------------------
+# joins
+# ---------------------------------------------------------------------------
+
+
+def parallel_join_indices(
+    left_keys: list[Column],
+    right_keys: list[Column],
+    pool: SegmentPool,
+    note: Optional[list] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Segment-parallel inner equi-join, bit-identical to ``join_indices``.
+
+    Inputs outside the parallel kernel's shape (multi-column, text or
+    NULL-bearing keys) fall back to the single-threaded kernel.
+    """
+    if not (_parallel_eligible(left_keys) and _parallel_eligible(right_keys)):
+        return join_indices(left_keys, right_keys, note=note)
+    lk = left_keys[0].values
+    rk = right_keys[0].values
+    n_left = int(lk.shape[0])
+    if n_left == 0 or rk.shape[0] == 0:
+        if note is not None:
+            note.append("empty")
+        return _empty_pair()
+    if note is not None:
+        note.append("parallel-hash")
+    n_parts = pool.n_segments
+    left_parts = partition_rows(lk, n_parts)
+    right_parts = partition_rows(rk, n_parts)
+
+    def join_partition(part: int) -> tuple[np.ndarray, np.ndarray]:
+        left_rows = left_parts[part]
+        right_rows = right_parts[part]
+        if left_rows.size == 0 or right_rows.size == 0:
+            return _empty_pair()
+        l_local, r_local = _hash_join_int(lk[left_rows], rk[right_rows],
+                                          None, None)
+        return left_rows[l_local], right_rows[r_local]
+
+    results = pool.map(join_partition, range(n_parts))
+
+    # Reference output order: grouped by left row, ascending; within one
+    # left row, right matches in stable key order.  Every left row lives in
+    # exactly one partition and each partition's output is already sorted
+    # by (global) left row, so per-left-row match counts give each
+    # partition an exclusive, contiguous slot range to scatter into.
+    match_counts = np.zeros(n_left, dtype=np.int64)
+    total = 0
+    for left_global, _ in results:
+        if left_global.size == 0:
+            continue
+        total += left_global.size
+        run_first, run_lengths = _runs(left_global)
+        match_counts[left_global[run_first]] = run_lengths
+    if total == 0:
+        return _empty_pair()
+    starts = np.concatenate(([0], np.cumsum(match_counts)[:-1]))
+    out_left = np.empty(total, dtype=np.int64)
+    out_right = np.empty(total, dtype=np.int64)
+    for left_global, right_global in results:
+        if left_global.size == 0:
+            continue
+        run_first, run_lengths = _runs(left_global)
+        within = np.arange(left_global.size) - np.repeat(run_first, run_lengths)
+        positions = starts[left_global] + within
+        out_left[positions] = left_global
+        out_right[positions] = right_global
+    return out_left, out_right
+
+
+def parallel_left_join_indices(
+    left_keys: list[Column],
+    right_keys: list[Column],
+    pool: SegmentPool,
+    note: Optional[list] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Segment-parallel left outer join (inner join plus NO_MATCH padding,
+    exactly like the single-threaded composition)."""
+    l_idx, r_idx = parallel_join_indices(left_keys, right_keys, pool, note)
+    n_left = len(left_keys[0])
+    matched = np.zeros(n_left, dtype=bool)
+    matched[l_idx] = True
+    missing = np.flatnonzero(~matched)
+    if missing.size == 0:
+        return l_idx, r_idx
+    left_rows = np.concatenate([l_idx, missing])
+    right_rows = np.concatenate(
+        [r_idx, np.full(missing.size, NO_MATCH, dtype=np.int64)]
+    )
+    return left_rows, right_rows
+
+
+def _runs(sorted_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """First index and length of each equal-value run in a sorted array."""
+    change = np.empty(sorted_ids.shape[0], dtype=bool)
+    change[0] = True
+    np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=change[1:])
+    run_first = np.flatnonzero(change)
+    run_lengths = np.diff(np.append(run_first, sorted_ids.shape[0]))
+    return run_first, run_lengths
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+
+
+class AggregateSpec:
+    """One aggregate to compute: kind plus its (optional) argument column.
+
+    ``kind`` is one of ``PARALLEL_AGGREGATES``; ``count*`` takes no
+    argument.  The argument is carried as raw values + null mask + SQL type
+    so the reduction mirrors the executor's arithmetic exactly.
+    """
+
+    __slots__ = ("kind", "values", "mask", "sql_type")
+
+    def __init__(
+        self,
+        kind: str,
+        values: Optional[np.ndarray] = None,
+        mask: Optional[np.ndarray] = None,
+        sql_type: str = INT64,
+    ):
+        if kind not in PARALLEL_AGGREGATES:
+            raise ExecutionError(f"unsupported aggregate kind {kind!r}")
+        if kind != "count*" and values is None:
+            raise ExecutionError(f"{kind} requires an argument column")
+        self.kind = kind
+        self.values = values
+        self.mask = mask
+        self.sql_type = sql_type
+
+
+def _reduce_slice(
+    spec: AggregateSpec,
+    rows: Optional[np.ndarray],
+    order: np.ndarray,
+    starts: np.ndarray,
+    row_counts: np.ndarray,
+) -> tuple[np.ndarray, Optional[np.ndarray]]:
+    """Per-group reduction over ``rows`` (None = all), grouped by ``order``/
+    ``starts``.  Mirrors ``Executor._compute_aggregate`` bit for bit."""
+    if spec.kind == "count*":
+        return row_counts.astype(np.int64, copy=False), None
+    values = spec.values if rows is None else spec.values[rows]
+    if spec.mask is None:
+        mask = np.zeros(values.shape[0], dtype=bool)
+    else:
+        mask = spec.mask if rows is None else spec.mask[rows]
+    sorted_values = values[order]
+    sorted_mask = mask[order]
+    valid_counts = np.add.reduceat((~sorted_mask).astype(np.int64), starts)
+    if spec.kind == "count":
+        return valid_counts, None
+    dtype = values.dtype
+    if spec.kind in ("min", "max"):
+        if spec.sql_type == INT64:
+            sentinel = np.iinfo(np.int64).max if spec.kind == "min" \
+                else np.iinfo(np.int64).min
+        else:
+            sentinel = np.inf if spec.kind == "min" else -np.inf
+        padded = np.where(sorted_mask, sentinel, sorted_values)
+        reducer = np.minimum if spec.kind == "min" else np.maximum
+        reduced = reducer.reduceat(padded, starts)
+        empty = valid_counts == 0
+        return reduced.astype(dtype, copy=False), empty if empty.any() else None
+    # sum / avg: float64 accumulation in reference row order.
+    padded = np.where(sorted_mask, 0, sorted_values)
+    sums = np.add.reduceat(padded.astype(np.float64), starts)
+    empty = valid_counts == 0
+    empty = empty if empty.any() else None
+    if spec.kind == "sum":
+        if spec.sql_type == INT64:
+            return sums.astype(np.int64), empty
+        return sums, empty
+    with np.errstate(invalid="ignore", divide="ignore"):
+        averages = sums / valid_counts
+    return averages, empty
+
+
+def group_aggregate(
+    keys: np.ndarray, specs: list[AggregateSpec]
+) -> tuple[np.ndarray, list[tuple[np.ndarray, Optional[np.ndarray]]]]:
+    """Single-threaded grouped aggregation: the parallel kernel's reference.
+
+    Returns the sorted unique keys and, per spec, (values, null mask or
+    None), one entry per group.
+    """
+    if keys.shape[0] == 0:
+        empty = np.empty(0, dtype=keys.dtype)
+        return empty, [
+            (np.empty(0, dtype=np.int64), None) for _ in specs
+        ]
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    starts = _boundaries(sorted_keys)
+    row_counts = np.diff(np.append(starts, order.shape[0]))
+    unique_keys = sorted_keys[starts]
+    results = [
+        _reduce_slice(spec, None, order, starts, row_counts) for spec in specs
+    ]
+    return unique_keys, results
+
+
+def parallel_group_aggregate(
+    keys: np.ndarray,
+    specs: list[AggregateSpec],
+    pool: SegmentPool,
+) -> tuple[np.ndarray, list[tuple[np.ndarray, Optional[np.ndarray]]]]:
+    """Partial-then-final grouped aggregation over segment partitions.
+
+    Each partition holds *all* rows of its keys in original relative order,
+    so per-partition aggregates are already final for those keys (even
+    float sums reduce in the reference order); the final step only merges
+    the disjoint per-partition group lists into global key order.
+    Bit-identical to :func:`group_aggregate`.
+    """
+    if keys.shape[0] == 0:
+        return group_aggregate(keys, specs)
+    n_parts = pool.n_segments
+    parts = partition_rows(keys, n_parts)
+
+    def aggregate_partition(part: int):
+        rows = parts[part]
+        if rows.size == 0:
+            return None
+        local_keys = keys[rows]
+        order = np.argsort(local_keys, kind="stable")
+        sorted_keys = local_keys[order]
+        starts = _boundaries(sorted_keys)
+        row_counts = np.diff(np.append(starts, order.shape[0]))
+        results = [
+            _reduce_slice(spec, rows, order, starts, row_counts)
+            for spec in specs
+        ]
+        return sorted_keys[starts], results
+
+    partials = [p for p in pool.map(aggregate_partition, range(n_parts))
+                if p is not None]
+    all_keys = np.concatenate([p[0] for p in partials])
+    merge = np.argsort(all_keys, kind="stable")
+    unique_keys = all_keys[merge]
+    merged: list[tuple[np.ndarray, Optional[np.ndarray]]] = []
+    for position, spec in enumerate(specs):
+        values = np.concatenate([p[1][position][0] for p in partials])[merge]
+        if any(p[1][position][1] is not None for p in partials):
+            mask = np.concatenate([
+                p[1][position][1]
+                if p[1][position][1] is not None
+                else np.zeros(p[0].shape[0], dtype=bool)
+                for p in partials
+            ])[merge]
+            mask = mask if mask.any() else None
+        else:
+            mask = None
+        merged.append((values, mask))
+    return unique_keys, merged

@@ -390,6 +390,11 @@ class Parser:
             operand = self._unary()
             if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
                 return Literal(-operand.value)
+            if isinstance(operand, Literal) and isinstance(operand.value, Param):
+                # Template mode: fold the minus into the placeholder so the
+                # patched AST matches the direct parse's folded literal.
+                param = operand.value
+                return Literal(Param(param.index, not param.negated))
             return UnaryOp("-", operand)
         if self._accept(OP, "+"):
             return self._unary()

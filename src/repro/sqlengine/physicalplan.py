@@ -1,0 +1,804 @@
+"""Compiled physical plans: the per-template execution strategy cache.
+
+PR 1 cached parsed ASTs per statement *template* (same SQL up to table-name
+suffixes and integer constants).  Execution, however, still re-derived the
+whole physical strategy from scratch every round: predicate classification,
+greedy join ordering, co-location (motion) verdicts, projection wiring.
+This module compiles all of that once per template into a
+:class:`PhysicalPlan` that subsequent executions of the same template
+re-run directly.
+
+A physical plan is compiled against the *patched* template AST and holds
+references to its nodes.  The plan cache patches parameters into those same
+nodes in place before every execution, so per-round values (table-name
+suffixes, randomisation constants) are always current while everything
+structural — join order, key columns, pushed-down filters, distribution
+sets — is reused.  Validity is re-checked cheaply before each reuse:
+
+* every FROM-item binding must still equal the binding the plan was
+  compiled for (a parameterised alias that actually changes between
+  executions invalidates the plan), and
+* every referenced stored table must still exist with the same column list
+  and distribution column (schema fingerprint).  Data changes — the
+  per-round table churn — do *not* invalidate a plan: all data-dependent
+  choices (index availability, kernel dispatch, motion byte counts) are
+  resolved against live table state at execution time.
+
+The compiler also wires in **pipeline fusion** (enabled via ``fuse``):
+
+* **column pruning** — each join step gathers only the columns consumed
+  downstream (later join keys, residual predicates, projection,
+  aggregation) instead of materialising every column of both inputs; and
+* **fused join→DISTINCT** — a ``SELECT DISTINCT col, ...`` directly above
+  the final join skips the intermediate frame and relation entirely: the
+  executor runs the join kernel, gathers exactly the projected columns,
+  applies the residual filter and deduplicates in one pass.
+
+Compiling ``fuse=False`` reproduces the seed's materialising pipeline,
+which the benchmarks use as the comparison baseline and the property tests
+use as the reference for bit-identical output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FromItem,
+    Select,
+    SelectCore,
+    Statement,
+    SubqueryRef,
+    TableRef,
+)
+from .errors import PlanError
+from .expressions import collect_column_refs, contains_aggregate
+from .table import Catalog
+
+
+# ---------------------------------------------------------------------------
+# predicate analysis helpers (shared with the executor)
+# ---------------------------------------------------------------------------
+
+
+def _conjuncts(expr: Optional[Expression]) -> list[Expression]:
+    """Flatten a predicate into AND-connected conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _ref_binding(ref: ColumnRef, bindings: dict[str, list[str]]) -> Optional[str]:
+    if ref.table is not None:
+        return ref.table if ref.table in bindings else None
+    owners = [b for b, cols in bindings.items() if ref.name in cols]
+    if len(owners) == 1:
+        return owners[0]
+    return None
+
+
+def _bindings_of(
+    expr: Expression, binding_columns: dict[str, set[str]]
+) -> set[str]:
+    refs: list[ColumnRef] = []
+    collect_column_refs(expr, refs)
+    touched: set[str] = set()
+    for ref in refs:
+        if ref.table is not None:
+            touched.add(ref.table)
+        else:
+            owners = [b for b, cols in binding_columns.items() if ref.name in cols]
+            if len(owners) == 1:
+                touched.add(owners[0])
+            else:
+                # Ambiguous or unknown: treat as touching everything so the
+                # predicate is applied after all joins (and resolution errors
+                # surface with a clear message there).
+                touched.update(binding_columns.keys())
+    return touched
+
+
+def _as_join_edge(
+    expr: Expression, binding_columns: dict[str, set[str]]
+) -> Optional[tuple[str, str, ColumnRef, ColumnRef]]:
+    """Return (binding_a, binding_b, ref_a, ref_b) for `a.x = b.y` predicates."""
+    if not (isinstance(expr, BinaryOp) and expr.op == "="):
+        return None
+    left, right = expr.left, expr.right
+    if not (isinstance(left, ColumnRef) and isinstance(right, ColumnRef)):
+        return None
+    bindings = {b: list(cols) for b, cols in binding_columns.items()}
+    left_binding = _ref_binding(left, bindings)
+    right_binding = _ref_binding(right, bindings)
+    if left_binding is None or right_binding is None:
+        return None
+    if left_binding == right_binding:
+        return None
+    return left_binding, right_binding, left, right
+
+
+def _edge_bindings(edge: tuple[str, str, ColumnRef, ColumnRef]) -> set[str]:
+    return {edge[0], edge[1]}
+
+
+def _qualify(ref: ColumnRef, bindings: dict[str, list[str]]) -> str:
+    """Resolve a column reference to its ``binding.column`` key (mirrors
+    ``Executor._qualified`` including its error messages)."""
+    if ref.table is not None:
+        if ref.table not in bindings or ref.name not in bindings[ref.table]:
+            raise PlanError(f"unknown column {ref.display()!r}")
+        return f"{ref.table}.{ref.name}"
+    candidates = [
+        f"{binding}.{ref.name}"
+        for binding, cols in bindings.items()
+        if ref.name in cols
+    ]
+    if not candidates:
+        raise PlanError(f"unknown column {ref.name!r}")
+    if len(candidates) > 1:
+        raise PlanError(f"ambiguous column {ref.name!r}")
+    return candidates[0]
+
+
+# ---------------------------------------------------------------------------
+# plan structures
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScanPlan:
+    """One FROM item: a stored-table scan or a planned subquery."""
+
+    item: FromItem  # AST node; the plan cache patches its name in place
+    binding: str
+    columns: tuple[str, ...]
+    distribution: frozenset[str]
+    filters: list[Expression] = field(default_factory=list)
+    subplan: Optional["SelectPlan"] = None
+
+
+@dataclass
+class JoinStepPlan:
+    """One step of the greedy join pipeline (equi-join or cartesian)."""
+
+    binding: str  # the right-side binding this step joins in
+    cartesian: bool
+    left_names: list[str]  # qualified key names on the accumulated left side
+    right_names: list[str]
+    left_gather: list[str]  # columns materialised from the left frame
+    right_gather: list[str]  # columns materialised from the right frame
+    out_bindings: dict[str, list[str]]
+    out_distribution: frozenset[str]
+    kernel: str = ""  # last kernel strategy the dispatch picked (telemetry)
+
+
+@dataclass
+class LeftJoinPlan:
+    """A LEFT OUTER JOIN appended after the inner pipeline."""
+
+    scan: ScanPlan
+    left_names: list[str]
+    right_names: list[str]
+    left_gather: list[str]
+    right_gather: list[str]
+    out_bindings: dict[str, list[str]]
+    out_distribution: frozenset[str]
+
+
+@dataclass
+class FusedDistinctPlan:
+    """SELECT DISTINCT of plain columns directly above the final join.
+
+    The executor runs the final join kernel, gathers only ``left_gather`` /
+    ``right_gather``, filters by the residual predicates and deduplicates —
+    one fused pipeline instead of frame + projection + distinct.
+    """
+
+    left_gather: list[str]
+    right_gather: list[str]
+    bare_names: dict[str, str]  # bare name -> qualified, for the filter env
+    out_keys: list[str]  # storage keys, one per select item
+    out_quals: list[str]  # qualified source column per item
+    display: list[str]
+    out_distribution: Optional[str]
+
+
+@dataclass
+class CorePlan:
+    """The compiled pipeline of one SELECT core."""
+
+    core: SelectCore
+    scans: list[ScanPlan]
+    steps: list[JoinStepPlan]
+    left_joins: list[LeftJoinPlan]
+    residual: list[Expression]
+    is_aggregate: bool
+    out_names: list[str]
+    display_names: list[str]
+    out_distribution: Optional[str]
+    fused: Optional[FusedDistinctPlan]
+
+
+@dataclass
+class SelectPlan:
+    """A planned SELECT statement (one CorePlan per UNION ALL arm)."""
+
+    select: Select
+    cores: list[CorePlan]
+
+
+@dataclass
+class PhysicalPlan:
+    """A compiled statement: the select pipeline plus its validity checks."""
+
+    statement: Statement
+    select_plan: SelectPlan
+    #: (TableRef node, expected column tuple, expected distribution column)
+    table_checks: list[tuple]
+    #: (FromItem node, binding the plan was compiled for)
+    binding_checks: list[tuple]
+    #: (ColumnRef node, table, name) — every reference whose resolved
+    #: qualified name may be baked into the plan (join keys, gather lists,
+    #: fused projections).  Digit suffixes of column names are template
+    #: parameters like everything else, so a later statement can patch a
+    #: *different* column into the same node; the plan must notice.
+    ref_checks: list[tuple]
+    #: (SelectItem node, alias) — output aliases baked into compiled names.
+    alias_checks: list[tuple]
+
+
+def compile_statement(
+    statement: Statement, catalog: Catalog, fuse: bool = True
+) -> Optional[PhysicalPlan]:
+    """Compile the physical plan of a statement containing a SELECT.
+
+    Returns ``None`` for statements without one (pure DDL/DML), which need
+    no physical planning.
+    """
+    if isinstance(statement, Select):
+        select = statement
+    else:
+        select = getattr(statement, "select", None)
+    if not isinstance(select, Select):
+        return None
+    compiler = _Compiler(catalog, fuse)
+    select_plan = compiler.compile_select(select)
+    return PhysicalPlan(
+        statement, select_plan, compiler.table_checks,
+        compiler.binding_checks, compiler.ref_checks, compiler.alias_checks,
+    )
+
+
+def plan_is_valid(plan: PhysicalPlan, catalog: Catalog) -> bool:
+    """Cheap pre-execution validity check for a cached physical plan.
+
+    Confirms the patched AST still names the bindings the plan was compiled
+    for and that every referenced stored table exists with an unchanged
+    schema fingerprint.  Data content is deliberately not part of the
+    check: kernel dispatch and motion byte counts read live table state.
+    """
+    for node, binding in plan.binding_checks:
+        if node.binding != binding:
+            return False
+    for node, table, name in plan.ref_checks:
+        if node.table != table or node.name != name:
+            return False
+    for node, alias in plan.alias_checks:
+        if node.alias != alias:
+            return False
+    for node, columns, distribution_column in plan.table_checks:
+        if node.name not in catalog:
+            return False
+        table = catalog.get(node.name)
+        if tuple(table.column_names) != columns:
+            return False
+        if table.distribution_column != distribution_column:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# the compiler
+# ---------------------------------------------------------------------------
+
+
+class _Compiler:
+    def __init__(self, catalog: Catalog, fuse: bool):
+        self.catalog = catalog
+        self.fuse = fuse
+        self.table_checks: list[tuple] = []
+        self.binding_checks: list[tuple] = []
+        self.ref_checks: list[tuple] = []
+        self.alias_checks: list[tuple] = []
+
+    def _record_core_checks(self, core: SelectCore) -> None:
+        """Snapshot every column ref and output alias of a core.
+
+        The plan compiles their *current* values into name strings; the
+        validity check compares these snapshots against the re-patched AST
+        so a template whose parameters reach into identifier names can
+        never execute a stale plan.
+        """
+        refs: list[ColumnRef] = []
+        for item in core.items:
+            collect_column_refs(item.expr, refs)
+            self.alias_checks.append((item, item.alias))
+        if core.where is not None:
+            collect_column_refs(core.where, refs)
+        for join in core.joins:
+            collect_column_refs(join.condition, refs)
+        for expr in core.group_by:
+            collect_column_refs(expr, refs)
+        for ref in refs:
+            self.ref_checks.append((ref, ref.table, ref.name))
+
+    # -- selects ---------------------------------------------------------
+
+    def compile_select(self, select: Select) -> SelectPlan:
+        return SelectPlan(select, [self.compile_core(c) for c in select.cores])
+
+    def compile_scan(self, item: FromItem) -> ScanPlan:
+        if isinstance(item, TableRef):
+            table = self.catalog.get(item.name)
+            binding = item.binding
+            columns = tuple(table.column_names)
+            distribution = frozenset(
+                {f"{binding}.{table.distribution_column}"}
+                if table.distribution_column
+                else set()
+            )
+            self.table_checks.append(
+                (item, columns, table.distribution_column)
+            )
+            self.binding_checks.append((item, binding))
+            return ScanPlan(item, binding, columns, distribution)
+        if isinstance(item, SubqueryRef):
+            subplan = self.compile_select(item.select)
+            binding = item.alias
+            # A UNION ALL subquery exposes the first arm's storage names and
+            # no distribution, mirroring Executor.run_select.
+            first = subplan.cores[0]
+            columns = tuple(first.out_names)
+            inner_distribution = (
+                first.out_distribution if len(subplan.cores) == 1 else None
+            )
+            distribution = frozenset(
+                {f"{binding}.{inner_distribution}"} if inner_distribution else set()
+            )
+            self.binding_checks.append((item, binding))
+            return ScanPlan(item, binding, columns, distribution,
+                            subplan=subplan)
+        raise PlanError(f"unsupported FROM item {type(item).__name__}")
+
+    # -- one core --------------------------------------------------------
+
+    def compile_core(self, core: SelectCore) -> CorePlan:
+        self._record_core_checks(core)
+        is_aggregate = bool(core.group_by) or any(
+            contains_aggregate(item.expr) for item in core.items
+        )
+        if not core.from_items:
+            # SELECT without FROM: one anonymous row, nothing to plan.
+            out_names, display, _ = self._projected_names(core, [])
+            return CorePlan(core, [], [], [], [], is_aggregate,
+                            out_names, display, None, None)
+
+        scans: list[ScanPlan] = []
+        by_binding: dict[str, ScanPlan] = {}
+        order: list[str] = []
+
+        def add_scan(item: FromItem) -> ScanPlan:
+            scan = self.compile_scan(item)
+            if scan.binding in by_binding:
+                raise PlanError(f"duplicate table binding {scan.binding!r}")
+            scans.append(scan)
+            by_binding[scan.binding] = scan
+            order.append(scan.binding)
+            return scan
+
+        for item in core.from_items:
+            add_scan(item)
+        inner_joins = [j for j in core.joins if j.kind == "inner"]
+        left_join_items = [j for j in core.joins if j.kind == "left"]
+        for join in inner_joins:
+            add_scan(join.table)
+
+        predicates = _conjuncts(core.where)
+        for join in inner_joins:
+            predicates.extend(_conjuncts(join.condition))
+
+        # Classify predicates: pushed filters, equi-join edges, residual.
+        binding_columns = {b: set(s.columns) for b, s in by_binding.items()}
+        join_edges: list[tuple[str, str, ColumnRef, ColumnRef]] = []
+        residual: list[Expression] = []
+        for predicate in predicates:
+            touched = _bindings_of(predicate, binding_columns)
+            if len(touched) == 1 and next(iter(touched)) in by_binding:
+                by_binding[next(iter(touched))].filters.append(predicate)
+            elif _as_join_edge(predicate, binding_columns) is not None:
+                join_edges.append(_as_join_edge(predicate, binding_columns))
+            else:
+                residual.append(predicate)
+
+        # Greedy join ordering along usable equi-join edges (the same walk
+        # the executor used to run per execution).
+        acc_bindings: dict[str, list[str]] = {
+            order[0]: list(by_binding[order[0]].columns)
+        }
+        steps: list[JoinStepPlan] = []
+        joined = {order[0]}
+        pending = [b for b in order[1:]]
+        unused_edges = list(join_edges)
+        while pending:
+            progressed = False
+            for binding in list(pending):
+                edges = [
+                    e for e in unused_edges
+                    if (_edge_bindings(e) == {binding} | (_edge_bindings(e) & joined))
+                    and binding in _edge_bindings(e)
+                    and len(_edge_bindings(e) & joined) == 1
+                ]
+                if not edges:
+                    continue
+                steps.append(
+                    self._compile_inner(acc_bindings, by_binding[binding], edges)
+                )
+                acc_bindings[binding] = list(by_binding[binding].columns)
+                joined.add(binding)
+                pending.remove(binding)
+                for e in edges:
+                    unused_edges.remove(e)
+                progressed = True
+                break
+            if not progressed:
+                binding = pending.pop(0)
+                steps.append(JoinStepPlan(binding, True, [], [], [], [], {},
+                                          frozenset()))
+                acc_bindings[binding] = list(by_binding[binding].columns)
+                joined.add(binding)
+        # Edges between already-joined bindings become residual filters.
+        for _, _, ref_a, ref_b in unused_edges:
+            residual.append(BinaryOp("=", ref_a, ref_b))
+
+        left_plans: list[LeftJoinPlan] = []
+        for join in left_join_items:
+            left_plans.append(self._compile_left(acc_bindings, join))
+
+        all_bindings = dict(acc_bindings)
+
+        needed = self._collect_needed(core, residual, all_bindings, left_plans)
+        self._wire_gathers(core, by_binding, order, steps, left_plans, needed)
+
+        out_names, display, qualified_by_output = self._projected_names(
+            core, [(b, all_bindings[b]) for b in all_bindings]
+        )
+        out_distribution = self._compile_out_distribution(
+            core, is_aggregate, all_bindings, steps, left_plans, by_binding,
+            order, qualified_by_output,
+        )
+
+        fused = None
+        if (
+            self.fuse
+            and core.distinct
+            and not is_aggregate
+            and steps
+            and not steps[-1].cartesian
+            and not left_plans
+            and core.items
+            and all(isinstance(item.expr, ColumnRef) for item in core.items)
+            and needed is not None
+        ):
+            fused = self._compile_fused(
+                core, steps[-1], all_bindings, residual,
+                out_names, display, out_distribution,
+            )
+
+        return CorePlan(core, scans, steps, left_plans, residual,
+                        is_aggregate, out_names, display, out_distribution,
+                        fused)
+
+    # -- inner / left join steps -----------------------------------------
+
+    def _compile_inner(
+        self,
+        acc_bindings: dict[str, list[str]],
+        right: ScanPlan,
+        edges: list[tuple[str, str, ColumnRef, ColumnRef]],
+    ) -> JoinStepPlan:
+        right_bindings = {right.binding: list(right.columns)}
+        left_names: list[str] = []
+        right_names: list[str] = []
+        for _, _, ref_a, ref_b in edges:
+            # Orient each edge: one side references the right binding.
+            if _ref_binding(ref_b, right_bindings) == right.binding:
+                left_ref, right_ref = ref_a, ref_b
+            else:
+                left_ref, right_ref = ref_b, ref_a
+            left_names.append(_qualify(left_ref, acc_bindings))
+            right_names.append(_qualify(right_ref, right_bindings))
+        distribution = frozenset(left_names) | frozenset(right_names)
+        return JoinStepPlan(right.binding, False, left_names, right_names,
+                            [], [], {}, distribution)
+
+    def _compile_left(
+        self, acc_bindings: dict[str, list[str]], join
+    ) -> LeftJoinPlan:
+        scan = self.compile_scan(join.table)
+        binding = scan.binding
+        if binding in acc_bindings:
+            raise PlanError(f"duplicate table binding {binding!r}")
+        right_bindings = {binding: list(scan.columns)}
+        binding_columns = {b: set(cols) for b, cols in acc_bindings.items()}
+        binding_columns[binding] = set(scan.columns)
+        left_names: list[str] = []
+        right_names: list[str] = []
+        residual: list[Expression] = []
+        for predicate in _conjuncts(join.condition):
+            edge = _as_join_edge(predicate, binding_columns)
+            if edge is None:
+                residual.append(predicate)
+                continue
+            _, _, ref_a, ref_b = edge
+            if _ref_binding(ref_b, right_bindings) == binding:
+                left_ref, right_ref = ref_a, ref_b
+            elif _ref_binding(ref_a, right_bindings) == binding:
+                left_ref, right_ref = ref_b, ref_a
+            else:
+                residual.append(predicate)
+                continue
+            left_names.append(_qualify(left_ref, acc_bindings))
+            right_names.append(_qualify(right_ref, right_bindings))
+        if not left_names:
+            raise PlanError("LEFT JOIN requires at least one equality condition")
+        if residual:
+            raise PlanError("non-equality LEFT JOIN conditions are not supported")
+        plan = LeftJoinPlan(scan, left_names, right_names, [], [], {},
+                            frozenset(left_names))
+        acc_bindings[binding] = list(scan.columns)
+        return plan
+
+    # -- column pruning ---------------------------------------------------
+
+    def _collect_needed(
+        self,
+        core: SelectCore,
+        residual: list[Expression],
+        all_bindings: dict[str, list[str]],
+        left_plans: list[LeftJoinPlan],
+    ) -> Optional[set[str]]:
+        """Qualified columns the pipeline consumes above the joins, or
+        ``None`` when pruning must stay off (``*``, unresolvable refs)."""
+        refs: list[ColumnRef] = []
+        for item in core.items:
+            if not isinstance(item.expr, ColumnRef) and _contains_star(item.expr):
+                return None
+            collect_column_refs(item.expr, refs)
+        for expr in core.group_by:
+            collect_column_refs(expr, refs)
+        for predicate in residual:
+            collect_column_refs(predicate, refs)
+        needed: set[str] = set()
+        for ref in refs:
+            try:
+                needed.add(_qualify(ref, all_bindings))
+            except PlanError:
+                return None
+        return needed
+
+    def _wire_gathers(
+        self,
+        core: SelectCore,
+        by_binding: dict[str, ScanPlan],
+        order: list[str],
+        steps: list[JoinStepPlan],
+        left_plans: list[LeftJoinPlan],
+        needed: Optional[set[str]],
+    ) -> None:
+        """Fill each step's gather lists and output bindings.
+
+        With ``needed`` known, every step materialises only the columns
+        consumed downstream of it (later join keys, residual predicates,
+        projection/aggregation inputs); otherwise every column flows
+        through, reproducing the seed's materialising pipeline.
+        """
+        prune = self.fuse and needed is not None
+
+        def quals(binding: str) -> list[str]:
+            return [f"{binding}.{c}" for c in by_binding[binding].columns]
+
+        def lj_quals(plan: LeftJoinPlan) -> list[str]:
+            return [f"{plan.scan.binding}.{c}" for c in plan.scan.columns]
+
+        # Forward pass: the left-side column list in front of each step.
+        prefix = quals(order[0])
+        step_left_cols: list[list[str]] = []
+        for step in steps:
+            step_left_cols.append(list(prefix))
+            prefix = prefix + quals(step.binding)
+        left_left_cols: list[list[str]] = []
+        for plan in left_plans:
+            left_left_cols.append(list(prefix))
+            prefix = prefix + lj_quals(plan)
+
+        # Backward pass: what each operator's output must contain.
+        downstream: Optional[set[str]] = set(needed) if prune else None
+        for plan, left_cols in zip(reversed(left_plans),
+                                   reversed(left_left_cols)):
+            right_cols = lj_quals(plan)
+            if downstream is None:
+                plan.left_gather = list(left_cols)
+                plan.right_gather = list(right_cols)
+            else:
+                plan.left_gather = [c for c in left_cols if c in downstream]
+                plan.right_gather = [c for c in right_cols if c in downstream]
+                downstream = (
+                    (downstream - set(right_cols)) | set(plan.left_names)
+                )
+            plan.out_bindings = _bindings_from(
+                plan.left_gather + plan.right_gather, self._binding_order(
+                    order, steps, left_plans, plan)
+            )
+        for step, left_cols in zip(reversed(steps), reversed(step_left_cols)):
+            right_cols = quals(step.binding)
+            if downstream is None:
+                step.left_gather = list(left_cols)
+                step.right_gather = list(right_cols)
+            else:
+                step.left_gather = [c for c in left_cols if c in downstream]
+                step.right_gather = [c for c in right_cols if c in downstream]
+                downstream = (
+                    (downstream - set(right_cols)) | set(step.left_names)
+                )
+            step.out_bindings = _bindings_from(
+                step.left_gather + step.right_gather,
+                self._binding_order(order, steps, left_plans, step),
+            )
+
+    def _binding_order(self, order, steps, left_plans, upto) -> list[str]:
+        """Binding sequence of the frame produced by ``upto``."""
+        result = [order[0]]
+        for step in steps:
+            result.append(step.binding)
+            if step is upto:
+                return result
+        for plan in left_plans:
+            result.append(plan.scan.binding)
+            if plan is upto:
+                return result
+        return result
+
+    # -- output wiring -----------------------------------------------------
+
+    def _projected_names(
+        self, core: SelectCore, binding_items: list[tuple[str, list[str]]]
+    ) -> tuple[list[str], list[str], dict[str, str]]:
+        """Mirror of the executor's output naming (stable storage keys,
+        display names, and the qualified source of plain column outputs)."""
+        bindings = dict(binding_items)
+        names: list[str] = []
+        display: list[str] = []
+        taken: set[str] = set()
+        qualified_by_output: dict[str, str] = {}
+        position = 0
+        is_aggregate = bool(core.group_by) or any(
+            contains_aggregate(item.expr) for item in core.items
+        )
+        for item in core.items:
+            if _contains_star(item.expr) and not isinstance(item.expr, ColumnRef):
+                if is_aggregate:
+                    raise PlanError("'*' cannot be combined with GROUP BY")
+                for binding, cols in binding_items:
+                    for col in cols:
+                        key = col if col not in taken \
+                            else f"{col}__{position + 1}"
+                        taken.add(key)
+                        names.append(key)
+                        display.append(col)
+                        qualified_by_output[key] = f"{binding}.{col}"
+                        position += 1
+                continue
+            if item.alias:
+                name = item.alias
+            elif isinstance(item.expr, ColumnRef):
+                name = item.expr.name
+            else:
+                name = f"column{position + 1}"
+            key = name if name not in taken else f"{name}__{position + 1}"
+            taken.add(key)
+            names.append(key)
+            display.append(name)
+            if isinstance(item.expr, ColumnRef):
+                try:
+                    qualified_by_output[key] = _qualify(item.expr, bindings)
+                except PlanError:
+                    pass  # the executor raises when it evaluates the item
+            position += 1
+        return names, display, qualified_by_output
+
+    def _compile_out_distribution(
+        self, core, is_aggregate, all_bindings, steps, left_plans,
+        by_binding, order, qualified_by_output,
+    ) -> Optional[str]:
+        if is_aggregate:
+            if not core.group_by:
+                return None
+            first = core.group_by[0]
+            if not isinstance(first, ColumnRef):
+                return None
+            try:
+                first_key = _qualify(first, all_bindings)
+            except PlanError:
+                return None
+            for name, qualified in qualified_by_output.items():
+                if qualified == first_key:
+                    return name
+            return None
+        final_distribution = self._final_distribution(
+            by_binding, order, steps, left_plans
+        )
+        for name, qualified in qualified_by_output.items():
+            if qualified in final_distribution:
+                return name
+        return None
+
+    def _final_distribution(
+        self, by_binding, order, steps, left_plans
+    ) -> frozenset:
+        if left_plans:
+            return left_plans[-1].out_distribution
+        if steps:
+            return steps[-1].out_distribution
+        return by_binding[order[0]].distribution
+
+    # -- fused join -> DISTINCT -------------------------------------------
+
+    def _compile_fused(
+        self, core, last_step, all_bindings, residual,
+        out_names, display, out_distribution,
+    ) -> Optional[FusedDistinctPlan]:
+        refs: list[ColumnRef] = []
+        for item in core.items:
+            collect_column_refs(item.expr, refs)
+        for predicate in residual:
+            collect_column_refs(predicate, refs)
+        bare_names: dict[str, str] = {}
+        out_quals: list[str] = []
+        for ref in refs:
+            qualified = _qualify(ref, all_bindings)
+            if ref.table is None:
+                bare_names[ref.name] = qualified
+        for item in core.items:
+            out_quals.append(_qualify(item.expr, all_bindings))
+        return FusedDistinctPlan(
+            list(last_step.left_gather),
+            list(last_step.right_gather),
+            bare_names,
+            list(out_names),
+            out_quals,
+            list(display),
+            out_distribution,
+        )
+
+
+def _contains_star(expr) -> bool:
+    from .ast_nodes import Star
+
+    return isinstance(expr, Star)
+
+
+def _bindings_from(
+    quals: list[str], binding_order: list[str]
+) -> dict[str, list[str]]:
+    """Group qualified column names into an ordered binding -> columns map."""
+    out: dict[str, list[str]] = {b: [] for b in binding_order}
+    for qualified in quals:
+        binding, column = qualified.split(".", 1)
+        out[binding].append(column)
+    return out

@@ -103,7 +103,8 @@ def _needs_patch(value: object) -> bool:
 def _instantiate(template_value: object, params: list[str]) -> object:
     """Rebuild a slot value with the statement's actual parameters."""
     if isinstance(template_value, Param):
-        return int(params[template_value.index])
+        value = int(params[template_value.index])
+        return -value if template_value.negated else value
     if isinstance(template_value, str):
         return _MARKER_RE.sub(
             lambda m: params[int(m.group(1))], template_value
@@ -121,13 +122,19 @@ class _Template:
     ``statement is None`` marks a template that failed verification — the
     cache remembers the failure so the (cheap) normalisation is the only
     cost such statements keep paying.
+
+    ``physical`` is the executor's compiled physical plan for this
+    template (see :mod:`repro.sqlengine.physicalplan`).  It is owned and
+    validated by the executor; the cache only provides the slot so a
+    template carries its execution strategy alongside its AST.
     """
 
-    __slots__ = ("statement", "slots")
+    __slots__ = ("statement", "slots", "physical")
 
     def __init__(self, statement: Optional[Statement], slots: list):
         self.statement = statement
         self.slots = slots
+        self.physical = None
 
     def patch(self, params: list[str]) -> Statement:
         for node, field_name, template_value in self.slots:
@@ -149,22 +156,39 @@ class PlanCache:
 
     def statement_for(self, sql: str) -> tuple[Statement, bool]:
         """Parse-or-fetch one statement; returns (statement, was_cache_hit)."""
+        statement, cache_hit, _ = self.entry_for(sql)
+        return statement, cache_hit
+
+    def entry_for(self, sql: str) -> tuple[Statement, bool, Optional[_Template]]:
+        """Parse-or-fetch one statement plus its template cache entry.
+
+        The entry (``None`` for uncacheable statements) is the slot the
+        executor caches the statement's compiled physical plan on.  On a
+        successful first build the *patched template* AST is returned
+        rather than the direct parse — the two are verified structurally
+        equal — so a physical plan compiled during the first execution
+        already references the nodes every later hit re-patches.
+        """
         if "$" in sql or "--" in sql or "/*" in sql:
             # "$" would collide with our own markers; comments would need a
             # comment-aware normaliser.  Neither occurs in generated SQL.
-            return parse_statement(sql), False
+            return parse_statement(sql), False, None
         template_sql, params = normalize_statement(sql)
         entry = self._entries.get(template_sql)
         if entry is not None:
             self._entries.move_to_end(template_sql)
             if entry.statement is None:
-                return parse_statement(sql), False
-            return entry.patch(params), True
+                return parse_statement(sql), False, None
+            return entry.patch(params), True, entry
         direct = parse_statement(sql)
-        self._entries[template_sql] = self._build(template_sql, params, direct)
+        entry = self._build(template_sql, params, direct)
+        self._entries[template_sql] = entry
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-        return direct, False
+        if entry.statement is None:
+            return direct, False, None
+        # _build leaves the template patched with this statement's params.
+        return entry.statement, False, entry
 
     def _build(
         self, template_sql: str, params: list[str], direct: Statement

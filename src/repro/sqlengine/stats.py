@@ -50,6 +50,12 @@ class StatsSnapshot:
     index_cache_hits: int = 0
     index_cache_misses: int = 0
     joins_pruned: int = 0
+    physical_plan_hits: int = 0
+    physical_plan_misses: int = 0
+    physical_plan_invalidations: int = 0
+    fused_pipelines: int = 0
+    group_sorts_skipped: int = 0
+    parallel_partitions: int = 0
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated since ``earlier`` (peak is the later peak)."""
@@ -66,6 +72,16 @@ class StatsSnapshot:
             index_cache_hits=self.index_cache_hits - earlier.index_cache_hits,
             index_cache_misses=self.index_cache_misses - earlier.index_cache_misses,
             joins_pruned=self.joins_pruned - earlier.joins_pruned,
+            physical_plan_hits=self.physical_plan_hits - earlier.physical_plan_hits,
+            physical_plan_misses=self.physical_plan_misses
+            - earlier.physical_plan_misses,
+            physical_plan_invalidations=self.physical_plan_invalidations
+            - earlier.physical_plan_invalidations,
+            fused_pipelines=self.fused_pipelines - earlier.fused_pipelines,
+            group_sorts_skipped=self.group_sorts_skipped
+            - earlier.group_sorts_skipped,
+            parallel_partitions=self.parallel_partitions
+            - earlier.parallel_partitions,
         )
 
 
@@ -87,6 +103,13 @@ class EngineStats:
         self.index_cache_hits = 0
         self.index_cache_misses = 0
         self.joins_pruned = 0
+        # Physical-plan layer counters (see physicalplan.py / executor.py).
+        self.physical_plan_hits = 0
+        self.physical_plan_misses = 0
+        self.physical_plan_invalidations = 0
+        self.fused_pipelines = 0
+        self.group_sorts_skipped = 0
+        self.parallel_partitions = 0
         self.log: list[QueryRecord] = []
         # Per-statement scratch counters, folded into a QueryRecord by the
         # database façade around each execute() call.
@@ -154,6 +177,33 @@ class EngineStats:
         """A join proven empty from index stats; its data motion was skipped."""
         self.joins_pruned += 1
 
+    def record_physical_plan_hit(self) -> None:
+        """A statement re-executed its template's cached physical plan."""
+        self.physical_plan_hits += 1
+
+    def record_physical_plan_miss(self) -> None:
+        """A statement compiled its physical plan from scratch."""
+        self.physical_plan_misses += 1
+
+    def record_physical_plan_invalidation(self) -> None:
+        """A cached physical plan failed its validity check (schema or
+        binding drift) and was recompiled."""
+        self.physical_plan_invalidations += 1
+
+    def record_fused_pipeline(self) -> None:
+        """A join fed DISTINCT through one fused kernel pass instead of
+        materialising the intermediate frame and relation."""
+        self.fused_pipelines += 1
+
+    def record_group_sort_skipped(self) -> None:
+        """A GROUP BY ran sort-free and gather-free because a cached index
+        proved its input pre-sorted on disk."""
+        self.group_sorts_skipped += 1
+
+    def record_parallel_partitions(self, n_partitions: int) -> None:
+        """A kernel executed segment-parallel over this many partitions."""
+        self.parallel_partitions += n_partitions
+
     # -- statement bracketing -------------------------------------------------
 
     def begin_statement(self) -> None:
@@ -190,6 +240,12 @@ class EngineStats:
             index_cache_hits=self.index_cache_hits,
             index_cache_misses=self.index_cache_misses,
             joins_pruned=self.joins_pruned,
+            physical_plan_hits=self.physical_plan_hits,
+            physical_plan_misses=self.physical_plan_misses,
+            physical_plan_invalidations=self.physical_plan_invalidations,
+            fused_pipelines=self.fused_pipelines,
+            group_sorts_skipped=self.group_sorts_skipped,
+            parallel_partitions=self.parallel_partitions,
         )
 
     def reset_peak(self) -> None:

@@ -1,0 +1,226 @@
+"""Property tests for the segment-parallel kernels.
+
+The contract is absolute: :func:`parallel_join_indices` and
+:func:`parallel_group_aggregate` must return **bit-identical** output to
+their single-threaded references for every input shape, because the
+executor switches between the strategies purely on size and pool
+availability.  These tests force a multi-worker pool even on single-core
+machines so the parallel code path (partitioning, per-partition kernels,
+scatter recombination) is always exercised.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlengine import Database
+from repro.sqlengine.mpp import SegmentPool, partition_rows
+from repro.sqlengine.operators import join_indices, left_join_indices
+from repro.sqlengine.parallel import (
+    AggregateSpec,
+    group_aggregate,
+    parallel_group_aggregate,
+    parallel_join_indices,
+    parallel_left_join_indices,
+)
+from repro.sqlengine.types import FLOAT64, INT64, Column
+
+
+POOL = SegmentPool(4, max_workers=4)
+
+
+def int_column(values) -> Column:
+    return Column(np.array(values, dtype=np.int64), INT64)
+
+
+keys = st.lists(
+    st.one_of(
+        st.integers(min_value=0, max_value=12),  # dense, duplicate-heavy
+        st.integers(min_value=-(2 ** 62), max_value=2 ** 62),  # sparse
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+# ---------------------------------------------------------------------------
+# joins
+# ---------------------------------------------------------------------------
+
+
+@given(keys, keys)
+def test_parallel_join_bit_identical(left, right):
+    left_col, right_col = int_column(left), int_column(right)
+    reference = join_indices([left_col], [right_col])
+    parallel = parallel_join_indices([left_col], [right_col], POOL)
+    assert np.array_equal(reference[0], parallel[0])
+    assert np.array_equal(reference[1], parallel[1])
+
+
+@given(keys, keys)
+def test_parallel_left_join_bit_identical(left, right):
+    if not left:
+        left = [0]
+    left_col, right_col = int_column(left), int_column(right)
+    reference = left_join_indices([left_col], [right_col])
+    parallel = parallel_left_join_indices([left_col], [right_col], POOL)
+    assert np.array_equal(reference[0], parallel[0])
+    assert np.array_equal(reference[1], parallel[1])
+
+
+@pytest.mark.parametrize("n_segments", [1, 2, 3, 4, 7])
+def test_parallel_join_large_random(n_segments):
+    pool = SegmentPool(n_segments, max_workers=4)
+    rng = np.random.default_rng(n_segments)
+    left = int_column(rng.integers(0, 5000, 20_000))
+    right = int_column(
+        np.concatenate([rng.permutation(5000), rng.integers(0, 5000, 800)])
+    )
+    reference = join_indices([left], [right])
+    parallel = parallel_join_indices([left], [right], pool)
+    assert np.array_equal(reference[0], parallel[0])
+    assert np.array_equal(reference[1], parallel[1])
+
+
+def test_parallel_join_falls_back_on_unsupported_shapes():
+    masked = Column(np.array([1, 2, 3], dtype=np.int64), INT64,
+                    np.array([False, True, False]))
+    plain = int_column([2, 3, 4])
+    reference = join_indices([masked], [plain])
+    parallel = parallel_join_indices([masked], [plain], POOL)
+    assert np.array_equal(reference[0], parallel[0])
+    assert np.array_equal(reference[1], parallel[1])
+
+
+def test_partition_rows_covers_everything_once():
+    values = np.random.default_rng(0).integers(-(2 ** 60), 2 ** 60, 5000)
+    parts = partition_rows(values, 4)
+    joined = np.concatenate(parts)
+    assert joined.shape[0] == values.shape[0]
+    assert np.array_equal(np.sort(joined), np.arange(values.shape[0]))
+    for part in parts:  # partitions preserve original relative order
+        assert np.all(np.diff(part) > 0) or part.size <= 1
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+
+
+def _specs_for(rng, n):
+    int_values = rng.integers(-100, 100, n)
+    float_values = rng.normal(size=n)
+    mask = rng.random(n) < 0.2
+    return [
+        AggregateSpec("count*"),
+        AggregateSpec("count", int_values, mask.copy(), INT64),
+        AggregateSpec("min", int_values, None, INT64),
+        AggregateSpec("max", int_values, mask.copy(), INT64),
+        AggregateSpec("sum", int_values, None, INT64),
+        AggregateSpec("sum", float_values, mask.copy(), FLOAT64),
+        AggregateSpec("avg", float_values, mask.copy(), FLOAT64),
+    ]
+
+
+@pytest.mark.parametrize("n_keys", [1, 7, 200])
+def test_parallel_group_aggregate_bit_identical(n_keys):
+    rng = np.random.default_rng(n_keys)
+    n = 3000
+    group_keys = rng.integers(0, n_keys, n)
+    specs = _specs_for(rng, n)
+    ref_keys, ref_results = group_aggregate(group_keys, specs)
+    par_keys, par_results = parallel_group_aggregate(group_keys, specs, POOL)
+    assert np.array_equal(ref_keys, par_keys)
+    for (ref_vals, ref_mask), (par_vals, par_mask) in zip(ref_results,
+                                                          par_results):
+        # Bit-identical, including float sums (per-key rows never split
+        # across partitions, so reduction order is preserved).
+        assert ref_vals.dtype == par_vals.dtype
+        assert np.array_equal(ref_vals, par_vals)
+        if ref_mask is None:
+            assert par_mask is None
+        else:
+            assert np.array_equal(ref_mask, par_mask)
+
+
+@given(st.lists(st.integers(min_value=-5, max_value=5), min_size=0,
+                max_size=50))
+def test_parallel_group_aggregate_small_inputs(values):
+    group_keys = np.array(values, dtype=np.int64)
+    arg = np.arange(group_keys.shape[0], dtype=np.int64)
+    specs = [AggregateSpec("count*"), AggregateSpec("min", arg, None, INT64)]
+    ref_keys, ref_results = group_aggregate(group_keys, specs)
+    par_keys, par_results = parallel_group_aggregate(group_keys, specs, POOL)
+    assert np.array_equal(ref_keys, par_keys)
+    for (ref_vals, _), (par_vals, _) in zip(ref_results, par_results):
+        assert np.array_equal(ref_vals, par_vals)
+
+
+# ---------------------------------------------------------------------------
+# executor integration: parallel on/off must be invisible in results
+# ---------------------------------------------------------------------------
+
+
+QUERIES = [
+    "select e.v1, r.rep from e, r where e.v1 = r.v",
+    "select e.v1, count(*) c, min(e.v2) lo, max(e.v2) hi, sum(e.v2) s "
+    "from e group by e.v1",
+    "select l.v, coalesce(r.rep, 0 - 1) rep from l "
+    "left outer join r on (l.rep = r.v)",
+    "select distinct e.v1, r.rep from e, r where e.v2 = r.v and e.v1 != r.rep",
+]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_executor_parallel_on_off_identical(query, monkeypatch):
+    import repro.sqlengine.executor as executor_module
+
+    monkeypatch.setattr(executor_module, "PARALLEL_MIN_ROWS", 1)
+
+    def build(parallel):
+        # The parallel kernels only engage where no cached build-side index
+        # already provides a sorted path, so model the index-less case.
+        db = Database(n_segments=4, parallel=parallel, use_index_cache=False)
+        rng = np.random.default_rng(99)
+        n = 2500
+        db.load_table("e", {"v1": rng.integers(0, 200, n),
+                            "v2": rng.integers(0, 200, n)})
+        db.load_table("r", {"v": np.arange(200, dtype=np.int64),
+                            "rep": rng.integers(0, 1 << 40, 200)})
+        db.load_table("l", {"v": np.arange(50, dtype=np.int64),
+                            "rep": rng.integers(0, 400, 50)})
+        return db
+
+    on = build(True)
+    off = build(False)
+    rows_on = on.execute(query).rows()
+    rows_off = off.execute(query).rows()
+    assert rows_on == rows_off
+    assert on.stats.parallel_partitions > 0
+    assert off.stats.parallel_partitions == 0
+
+
+def test_rc_end_to_end_parallel_identical(monkeypatch):
+    import repro.sqlengine.executor as executor_module
+
+    from repro.core import RandomisedContraction
+    from repro.graphs import gnm_random_graph
+    from repro.graphs.io import load_edges_into
+
+    monkeypatch.setattr(executor_module, "PARALLEL_MIN_ROWS", 1)
+    edges = gnm_random_graph(500, 900, np.random.default_rng(17))
+
+    def run(parallel):
+        db = Database(n_segments=4, parallel=parallel, use_index_cache=False)
+        load_edges_into(db, "edges", edges)
+        result = RandomisedContraction().run(db, "edges", seed=13)
+        vertices, labels = result.labels(db)
+        order = np.argsort(vertices, kind="stable")
+        return vertices[order], labels[order], db.stats
+
+    v_on, l_on, stats_on = run(True)
+    v_off, l_off, stats_off = run(False)
+    assert np.array_equal(v_on, v_off)
+    assert np.array_equal(l_on, l_off)
+    assert stats_on.parallel_partitions > 0
+    assert stats_off.parallel_partitions == 0

@@ -1,0 +1,395 @@
+"""Tests for the compiled physical-plan layer.
+
+Covers the tentpole behaviours of the physical plan cache:
+
+* templates cache a compiled plan (hit/miss/invalidation counters),
+* validity across schema changes and the per-round rename/drop churn that
+  Randomised Contraction performs (``reps{N}``/``tmp``/``graph`` cycling),
+* pipeline fusion (column pruning + fused join->DISTINCT) producing
+  bit-identical results to the materialising pipeline,
+* the GROUP BY sort skip over pre-sorted stored columns,
+* plan-template normalization edge cases — negative literals, string
+  literals containing digits, digit-suffix collisions across table names —
+  none of which may ever patch a wrong parameter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sqlengine import Database
+from repro.sqlengine.plancache import normalize_statement
+
+
+# ---------------------------------------------------------------------------
+# physical plan cache behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_physical_plan_hits_across_table_suffixes(db):
+    db.execute("create table g (v1 int64, v2 int64)")
+    db.execute("insert into g values (1,2),(2,3),(3,1)")
+    db.execute("create table reps1 as select v1 v, min(v2) rep from g "
+               "group by v1 distributed by (v)")
+    db.execute("create table reps2 as select v1 v, min(v2) rep from g "
+               "group by v1 distributed by (v)")
+    before = db.stats.snapshot()
+    rows = []
+    for i in (1, 2, 1, 2, 1):
+        rows.append(sorted(db.execute(
+            f"select g.v1, r.rep from g, reps{i} as r where g.v1 = r.v"
+        ).rows()))
+    delta = db.stats.snapshot().delta(before)
+    assert rows[0] == rows[2] == rows[4]
+    # One compile for the template, hits for every later execution.
+    assert delta.physical_plan_misses == 1
+    assert delta.physical_plan_hits == 4
+    assert delta.physical_plan_invalidations == 0
+
+
+def test_physical_plan_counts_only_planned_statements(db):
+    db.execute("create table t (v int64)")  # DDL: no physical plan
+    db.execute("insert into t values (1), (2)")  # DML: no physical plan
+    assert db.stats.physical_plan_hits + db.stats.physical_plan_misses == 0
+    db.execute("select v from t")
+    assert db.stats.physical_plan_misses == 1
+
+
+def test_physical_plan_invalidated_by_schema_change(db):
+    db.execute("create table s (k int64, w int64)")
+    db.execute("insert into s values (1, 10), (2, 20)")
+    query = "select s.w from s where s.k = 1"
+    assert db.execute(query).scalar() == 10
+    assert db.execute(query).scalar() == 10
+    assert db.stats.physical_plan_hits == 1
+    # Same name, different schema: the cached plan must not survive.
+    db.execute("drop table s")
+    db.execute("create table s (k int64, w int64, extra int64)")
+    db.execute("insert into s values (1, 99, 0)")
+    assert db.execute(query).scalar() == 99
+    assert db.stats.physical_plan_invalidations == 1
+
+
+def test_physical_plan_invalidated_by_distribution_change(db):
+    db.execute("create table a (v int64)")
+    db.execute("insert into a values (1), (2)")
+    db.execute("create table b1 as select v from a distributed by (v)")
+    q = "select a.v from a, b1 where a.v = b1.v"
+    db.execute(q)
+    db.execute(q)
+    assert db.stats.physical_plan_hits == 1
+    db.execute("drop table b1")
+    db.execute("create table b1 as select v from a")  # no distribution now
+    rows = sorted(db.execute(q).rows())
+    assert rows == [(1,), (2,)]
+    assert db.stats.physical_plan_invalidations == 1
+
+
+def test_physical_plans_can_be_disabled():
+    db = Database(use_physical_plans=False)
+    db.execute("create table t (v int64)")
+    db.execute("insert into t values (3)")
+    assert db.execute("select v from t").scalar() == 3
+    assert db.execute("select v from t").scalar() == 3
+    # Plans are compiled per execution but never cached.
+    assert db.stats.physical_plan_hits == 0
+    assert db.stats.physical_plan_misses == 2
+
+
+@pytest.mark.parametrize("use_fusion", [True, False])
+def test_column_digit_suffixes_invalidate_stale_plans(use_fusion):
+    """v1 vs v2 are template *parameters*: two statements sharing a
+    template but joining on different columns must never reuse each
+    other's compiled key/gather strings."""
+    db = Database(use_fusion=use_fusion)
+    db.execute("create table t (v1 int64, v2 int64)")
+    db.execute("insert into t values (100, 200)")
+    db.execute("create table s (w int64, tag int64)")
+    db.execute("insert into s values (100, 7), (200, 8)")
+    first = db.execute("select a.v1, b.tag from t a, s b where a.v1 = b.w")
+    second = db.execute("select a.v2, b.tag from t a, s b where a.v2 = b.w")
+    assert first.rows() == [(100, 7)]
+    assert second.rows() == [(200, 8)]
+    assert db.stats.physical_plan_invalidations >= 1
+    # Fused DISTINCT variant of the same trap.
+    assert db.execute("select distinct a.v1 from t a, s b "
+                      "where a.v1 = b.w").rows() == [(100,)]
+    assert db.execute("select distinct a.v2 from t a, s b "
+                      "where a.v2 = b.w").rows() == [(200,)]
+
+
+def test_alias_digit_suffixes_invalidate_stale_plans(db):
+    db.execute("create table t (v1 int64, v2 int64)")
+    db.execute("insert into t values (100, 200), (100, 300)")
+    first = db.execute("select distinct a.v1 as c1, a.v2 from t a, t b "
+                       "where a.v1 = b.v1")
+    assert first.relation.display_names == ["c1", "v2"]
+    second = db.execute("select distinct a.v1 as c2, a.v2 from t a, t b "
+                        "where a.v1 = b.v1")
+    assert second.relation.display_names == ["c2", "v2"]
+
+
+def test_database_close_releases_pool_threads():
+    import repro.sqlengine.executor as executor_module
+
+    with Database(n_segments=4, parallel=True,
+                  use_index_cache=False) as db:
+        db.execute("create table t (v int64)")
+        db.execute("insert into t values (1), (2), (3)")
+        original = executor_module.PARALLEL_MIN_ROWS
+        executor_module.PARALLEL_MIN_ROWS = 1
+        try:
+            db.execute("select t.v from t, t as u where t.v = u.v")
+        finally:
+            executor_module.PARALLEL_MIN_ROWS = original
+        assert db.stats.parallel_partitions > 0
+        assert db.pool._pool is not None
+    assert db.pool._pool is None  # close() released the workers
+    # The database stays usable after close.
+    assert db.execute("select count(*) from t").scalar() == 3
+
+
+# ---------------------------------------------------------------------------
+# rename/drop churn (the Randomised Contraction round pattern)
+# ---------------------------------------------------------------------------
+
+
+def test_rename_churn_keeps_plans_and_indexes_correct(db):
+    """Emulate the per-round reps{N}/tmp/graph cycling of the algorithm."""
+    rng = np.random.default_rng(7)
+    n = 500
+    v1 = rng.integers(0, 50, n)
+    v2 = rng.integers(0, 50, n)
+    db.load_table("ccgraph", {"v1": v1, "v2": v2}, distributed_by="v1")
+    for round_no in range(1, 6):
+        reps = f"ccreps{round_no}"
+        db.execute(
+            f"create table {reps} as select v1 v, min(v2) rep from ccgraph "
+            f"group by v1 distributed by (v)"
+        )
+        db.execute(
+            f"create table ccgraph2 as select r1.rep as v1, v2 "
+            f"from ccgraph, {reps} as r1 where ccgraph.v1 = r1.v "
+            f"distributed by (v2)"
+        )
+        db.execute("drop table ccgraph")
+        db.execute(
+            f"create table ccgraph3 as select distinct v1, r2.rep as v2 "
+            f"from ccgraph2, {reps} as r2 where ccgraph2.v2 = r2.v "
+            f"and v1 != r2.rep distributed by (v1)"
+        )
+        db.execute("drop table ccgraph2")
+        db.execute("alter table ccgraph3 rename to ccgraph")
+        # Independent check of the round's result against numpy.
+        table = db.table("ccgraph")
+        got = sorted(zip(table.column("v1").values.tolist(),
+                         table.column("v2").values.tolist()))
+        rep_of = {}
+        for v in np.unique(v1):
+            rep_of[int(v)] = int(v2[v1 == v].min())
+        relabeled = [(rep_of[int(a)], rep_of[int(b)])
+                     for a, b in zip(v1, v2) if int(b) in rep_of]
+        expected = sorted(set((a, b) for a, b in relabeled if a != b))
+        assert got == expected
+        v1 = np.array([a for a, _ in got], dtype=np.int64)
+        v2 = np.array([b for _, b in got], dtype=np.int64)
+        if v1.size == 0:
+            break
+    stats = db.stats
+    # The round templates hit their cached plans from round 2 on, and the
+    # rename/drop churn never invalidates them (schemas are stable).
+    assert stats.physical_plan_hits > 0
+    assert stats.physical_plan_invalidations == 0
+
+
+def test_rename_does_not_serve_stale_data(db):
+    db.execute("create table t (v int64, w int64)")
+    db.execute("insert into t values (1, 10), (2, 20)")
+    db.execute("create table probe (v int64)")
+    db.execute("insert into probe values (1), (2)")
+    q = "select probe.v, t.w from probe, t where probe.v = t.v"
+    assert sorted(db.execute(q).rows()) == [(1, 10), (2, 20)]  # warms caches
+    db.execute("alter table t rename to old_t")
+    db.execute("create table t (v int64, w int64)")
+    db.execute("insert into t values (1, 77), (2, 88)")
+    # Same template, same schema fingerprint, new table object: the plan is
+    # reusable but the data (and any index) must come from the new table.
+    assert sorted(db.execute(q).rows()) == [(1, 77), (2, 88)]
+
+
+# ---------------------------------------------------------------------------
+# fusion: bit-identical to the materialising pipeline
+# ---------------------------------------------------------------------------
+
+
+def _two_table_db(use_fusion: bool, parallel=False) -> Database:
+    db = Database(n_segments=4, use_fusion=use_fusion, parallel=parallel)
+    rng = np.random.default_rng(42)
+    n = 4000
+    db.load_table("graph2", {
+        "v1": rng.integers(0, 300, n),
+        "v2": rng.integers(0, 300, n),
+    }, distributed_by="v2")
+    db.load_table("reps", {
+        "v": np.arange(300, dtype=np.int64),
+        "rep": rng.integers(0, 1 << 60, 300),
+    }, distributed_by="v")
+    return db
+
+
+FUSABLE_QUERIES = [
+    "select distinct v1, r2.rep as v2 from graph2, reps as r2 "
+    "where graph2.v2 = r2.v and v1 != r2.rep",
+    "select distinct r2.rep from graph2, reps as r2 where graph2.v2 = r2.v",
+    "select distinct v1, v1 from graph2, reps as r2 where graph2.v2 = r2.v",
+]
+
+
+@pytest.mark.parametrize("query", FUSABLE_QUERIES)
+def test_fused_distinct_matches_materialising_pipeline(query):
+    fused_db = _two_table_db(use_fusion=True)
+    plain_db = _two_table_db(use_fusion=False)
+    fused = fused_db.execute(query)
+    plain = plain_db.execute(query)
+    assert fused.names == plain.names
+    assert fused.relation.display_names == plain.relation.display_names
+    assert fused.rows() == plain.rows()  # bit-identical, including order
+    assert fused_db.stats.fused_pipelines > 0
+    assert plain_db.stats.fused_pipelines == 0
+    # The single-join shape moves identical bytes in both pipelines.
+    assert fused_db.stats.motion_bytes == plain_db.stats.motion_bytes
+
+
+def test_fusion_preserves_create_table_as(db):
+    rng = np.random.default_rng(3)
+    db.load_table("e", {"a": rng.integers(0, 40, 900),
+                        "b": rng.integers(0, 40, 900)})
+    db.load_table("m", {"v": np.arange(40, dtype=np.int64),
+                        "rep": rng.integers(0, 40, 40)})
+    db.execute("create table out as select distinct e.a, m.rep from e, m "
+               "where e.b = m.v and e.a != m.rep distributed by (a)")
+    assert db.stats.fused_pipelines == 1
+    table = db.table("out")
+    assert table.column_names == ["a", "rep"]
+    assert table.distribution_column == "a"
+    pairs = set(zip(table.column("a").values.tolist(),
+                    table.column("rep").values.tolist()))
+    assert len(pairs) == table.n_rows  # DISTINCT held
+
+
+def test_column_pruning_does_not_change_results():
+    """Multi-join query with unused columns: pruned vs materialising."""
+    def build(use_fusion):
+        db = Database(use_fusion=use_fusion)
+        rng = np.random.default_rng(11)
+        db.load_table("a", {"k": rng.integers(0, 60, 800),
+                            "junk_a": rng.integers(0, 9, 800)})
+        db.load_table("b", {"k": np.arange(60, dtype=np.int64),
+                            "m": rng.integers(0, 30, 60),
+                            "junk_b": rng.integers(0, 9, 60)})
+        db.load_table("c", {"m": np.arange(30, dtype=np.int64),
+                            "label": rng.integers(0, 5, 30)})
+        return db
+
+    q = ("select c.label, count(*) cnt from a, b, c "
+         "where a.k = b.k and b.m = c.m group by c.label")
+    fused = build(True)
+    plain = build(False)
+    assert fused.execute(q).rows() == plain.execute(q).rows()
+
+
+def test_group_by_sorted_column_skips_sort(db):
+    values = np.repeat(np.arange(1000, dtype=np.int64), 3)  # sorted on disk
+    db.load_table("s", {"v": values})
+    rows = db.execute("select v, count(*) c from s group by v").rows()
+    assert rows[:2] == [(0, 3), (1, 3)]
+    assert db.stats.group_sorts_skipped == 1
+    # Unsorted input must not take the shortcut.
+    db.load_table("u", {"v": values[::-1].copy()})
+    db.execute("select v, count(*) c from u group by v")
+    assert db.stats.group_sorts_skipped == 1
+
+
+# ---------------------------------------------------------------------------
+# normalization edge cases (never patch a wrong parameter)
+# ---------------------------------------------------------------------------
+
+
+def test_negative_integer_literals_patch_correctly(db):
+    db.execute("create table t (v int64)")
+    db.execute("insert into t values (1)")
+    assert db.execute("select -5 c from t").scalar() == -5
+    assert db.execute("select -7 c from t").scalar() == -7  # template hit
+    assert db.execute("select 0 - 3 c from t").scalar() == -3
+
+
+def test_string_literals_with_digits_are_not_parameterised(db):
+    db.execute("create table s (name text)")
+    db.execute("insert into s values ('agent 47')")
+    assert db.execute("select name from s where name = 'agent 47'").rows() \
+        == [("agent 47",)]
+    # Two statements differing only inside string literals are distinct
+    # templates; digits inside strings never become parameters.
+    assert db.execute("select 'x1' v from s").scalar() == "x1"
+    assert db.execute("select 'x2' v from s").scalar() == "x2"
+    template, params = normalize_statement("select 'x1' v from s where 1=1")
+    assert "'x1'" in template and params == ["1", "1"]
+
+
+def test_digit_suffix_collisions_resolve_to_the_right_table(db):
+    db.execute("create table t1 (v int64)")
+    db.execute("insert into t1 values (100)")
+    db.execute("create table t2 (v int64)")
+    db.execute("insert into t2 values (200)")
+    db.execute("create table t12 (v int64)")
+    db.execute("insert into t12 values (300)")
+    # t1, t2, t12 all normalize to the same template t$0; each execution
+    # must patch back its own suffix, never a neighbour's.
+    assert db.execute("select v from t1").scalar() == 100
+    assert db.execute("select v from t2").scalar() == 200
+    assert db.execute("select v from t12").scalar() == 300
+    assert db.execute("select v from t1").scalar() == 100
+    # Mid-identifier digits stay literal and never collide with suffixes.
+    db.execute("create table x2y (v int64)")
+    db.execute("insert into x2y values (9)")
+    assert db.execute("select v from x2y").scalar() == 9
+
+
+def test_mixed_literal_and_suffix_parameters(db):
+    db.execute("create table r7 (v int64)")
+    db.execute("insert into r7 values (7)")
+    db.execute("create table r8 (v int64)")
+    db.execute("insert into r8 values (8)")
+    assert db.execute("select v + 10 s from r7").scalar() == 17
+    assert db.execute("select v + 20 s from r8").scalar() == 28
+    assert db.execute("select v + 30 s from r7").scalar() == 37
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: Randomised Contraction over the physical plan layer
+# ---------------------------------------------------------------------------
+
+
+def test_rc_physical_plan_hit_rate_and_identical_labels():
+    from repro.core import RandomisedContraction
+    from repro.graphs import gnm_random_graph
+    from repro.graphs.io import load_edges_into
+
+    edges = gnm_random_graph(600, 1100, np.random.default_rng(23))
+
+    def run(**kwargs):
+        db = Database(n_segments=4, **kwargs)
+        load_edges_into(db, "edges", edges)
+        result = RandomisedContraction().run(db, "edges", seed=5)
+        vertices, labels = result.labels(db)
+        order = np.argsort(vertices, kind="stable")
+        return vertices[order], labels[order], db.stats
+
+    v_on, l_on, stats_on = run()
+    v_off, l_off, stats_off = run(use_physical_plans=False, use_fusion=False)
+    assert np.array_equal(v_on, v_off)
+    assert np.array_equal(l_on, l_off)
+    assert stats_on.physical_plan_hits > 0
+    assert stats_on.fused_pipelines > 0
+    assert stats_on.physical_plan_invalidations == 0
+    planned = stats_on.physical_plan_hits + stats_on.physical_plan_misses
+    assert stats_on.physical_plan_hits / planned > 0.5  # cold-start run
