@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core import RandomisedContraction
 from repro.graphs import gnm_random_graph
+from repro.graphs.edgelist import EdgeList
 from repro.graphs.io import load_edges_into
 from repro.sqlengine import Database
 from repro.sqlengine.mpp import SegmentPool
@@ -41,6 +42,7 @@ from repro.sqlengine.parallel import (
     group_aggregate,
     parallel_group_aggregate,
     parallel_join_indices,
+    parallel_probe_indexed,
 )
 from repro.sqlengine.parser import parse_statement
 from repro.sqlengine.types import INT64, Column
@@ -63,9 +65,10 @@ def best_of(fn, reps: int = REPS) -> float:
 
 
 def reference_distinct(columns):
-    """The seed DISTINCT: lexsort-based grouping, first row per group."""
+    """The seed DISTINCT: lexsort-based grouping, first row per group,
+    in the kernels' documented ascending-row output order."""
     order, starts = sorted_group_rows(columns)
-    return order[starts] if order.size else order
+    return np.sort(order[starts]) if order.size else order
 
 
 def test_engine_microbench():
@@ -187,6 +190,34 @@ def test_engine_microbench():
     assert report["physical_plan"]["round_loop_hit_rate"] >= 0.95
     assert warm.physical_plan_invalidations == 0
 
+    # Warm-loop engagement proofs for the round-2 fusion kernels: the
+    # contract DISTINCT pairs GF(2^64) representatives (unpackable -> hash
+    # kernel); a sparse-vertex-id graph makes every round's build side a
+    # sorted-index probe (forced 4-worker pool so the chunked path runs
+    # even on single-core hosts); the table-strategy rounds' neigh-min is
+    # the fused join->GROUP BY shape.
+    assert warm.hash_distincts > 0
+    report["physical_plan"]["rc_hash_distincts"] = warm.hash_distincts
+    sparse_edges = EdgeList(measured_edges.src * 9973 + 5,
+                            measured_edges.dst * 9973 + 5)
+    probe_db = Database(n_segments=4, parallel=True)
+    load_edges_into(probe_db, "edges_sparse", sparse_edges)
+    RandomisedContraction().run(probe_db, "edges_sparse", seed=99)
+    report["physical_plan"]["rc_parallel_indexed_probes"] = \
+        probe_db.stats.parallel_indexed_probes
+    assert probe_db.stats.parallel_indexed_probes > 0
+    probe_db.close()
+    rr_db = Database(n_segments=4)
+    load_edges_into(rr_db, "edges_rr", warm_edges)
+    RandomisedContraction(method="random-reals",
+                          variant="deterministic-space").run(
+        rr_db, "edges_rr", seed=7)
+    report["physical_plan"]["rc_fused_group_pipelines"] = \
+        rr_db.stats.fused_group_pipelines
+    assert rr_db.stats.fused_group_pipelines > 0
+    rr_db.close()
+    pp_db.close()
+
     # -- fusion: join -> DISTINCT vs the materialising pipeline -----------
     # Two shapes at 1e6 rows: the paper's narrow contract query (two
     # columns per table; the saved gathers sit inside allocator noise on
@@ -234,10 +265,92 @@ def test_engine_microbench():
             "fused_s": t_fused,
             "speedup": t_plain / t_fused,
         }
+        fused_db.close()
+        plain_db.close()
         del fused_db, plain_db
     # "Measurably faster": asserted on the wide shape, with CI slack.
     wide = report["fused_distinct"]["wide"]
     assert wide["fused_s"] <= wide["materialising_s"] * 0.95
+
+    # -- fusion: join -> GROUP BY vs the materialising pipeline ------------
+    # The table-strategy round's neigh-min shape: aggregate directly over
+    # the probe stream.  Same two payload shapes as the DISTINCT fusion;
+    # the acceptance assert rides on the wide one.
+    group_query = ("select v1, min(r2.rep) hmin, count(*) c from graph2, "
+                   "reps as r2 where graph2.v2 = r2.v group by v1")
+    report["fused_group_by"] = {"rows": n_fuse}
+    for shape, payload in (("contract", 0), ("wide", 4)):
+        fg_db = fusion_db(True, payload)
+        pg_db = fusion_db(False, payload)
+        fused_rel = fg_db.execute(group_query).relation
+        plain_rel = pg_db.execute(group_query).relation
+        for name_f, name_p in zip(fused_rel.names, plain_rel.names):
+            assert np.array_equal(fused_rel.column(name_f).values,
+                                  plain_rel.column(name_p).values)
+        t_fused_g = best_of(lambda: fg_db.execute(group_query))
+        t_plain_g = best_of(lambda: pg_db.execute(group_query))
+        assert fg_db.stats.fused_group_pipelines > 0
+        assert pg_db.stats.fused_group_pipelines == 0
+        report["fused_group_by"][shape] = {
+            "materialising_s": t_plain_g,
+            "fused_s": t_fused_g,
+            "speedup": t_plain_g / t_fused_g,
+        }
+        fg_db.close()
+        pg_db.close()
+        del fg_db, pg_db
+    wide_group = report["fused_group_by"]["wide"]
+    assert wide_group["fused_s"] <= wide_group["materialising_s"] * 0.95
+
+    # -- hash DISTINCT: unpackable sparse pairs vs the lexsort reference ---
+    # Two full-range 64-bit key columns defeat the int-pair packing, which
+    # used to mean a lexsort over every row; the hash kernel touches each
+    # row O(1) times and only ever sorts nothing.
+    n_hash = SIZES[-1]
+    hash_rng = np.random.default_rng(14)
+    report["hash_distinct"] = {"rows": n_hash}
+    for shape, dup in (("unique_heavy", 0.0), ("duplicate_heavy", 0.9)):
+        n_base = max(int(n_hash * (1 - dup)), 1)
+        base_a = hash_rng.integers(0, 2 ** 62, n_base)
+        base_b = hash_rng.integers(0, 2 ** 62, n_base)
+        pick = hash_rng.integers(0, n_base, n_hash)
+        pair = [Column(base_a[pick], INT64), Column(base_b[pick], INT64)]
+        note: list = []
+        got = distinct_rows(pair, note=note)
+        assert note == ["hash"]
+        assert np.array_equal(got, reference_distinct(pair))
+        t_lexsort = best_of(lambda: reference_distinct(pair))
+        t_hash_pair = best_of(lambda: distinct_rows(pair))
+        report["hash_distinct"][shape] = {
+            "lexsort_s": t_lexsort,
+            "hash_s": t_hash_pair,
+            "speedup": t_lexsort / t_hash_pair,
+        }
+    assert report["hash_distinct"]["duplicate_heavy"]["speedup"] >= 1.2
+
+    # -- subquery result cache: repeated scalar statements -----------------
+    cache_db = Database(n_segments=4)
+    cache_rng = np.random.default_rng(15)
+    cache_db.load_table("big", {"v": cache_rng.integers(0, 1000, SIZES[-1])})
+    scalar_query = "select count(*) from big"
+    started = time.perf_counter()
+    assert cache_db.execute(scalar_query).scalar() == SIZES[-1]
+    t_cache_cold = time.perf_counter() - started
+    n_repeats = 200
+    started = time.perf_counter()
+    for _ in range(n_repeats):
+        cache_db.execute(scalar_query)
+    t_cache_warm = (time.perf_counter() - started) / n_repeats
+    report["result_cache"] = {
+        "rows": SIZES[-1],
+        "cold_s": t_cache_cold,
+        "warm_s": t_cache_warm,
+        "speedup": t_cache_cold / t_cache_warm,
+        "hits": cache_db.stats.subquery_cache_hits,
+    }
+    assert cache_db.stats.subquery_cache_hits == n_repeats
+    assert t_cache_warm < t_cache_cold
+    cache_db.close()
 
     # -- segment-parallel kernels vs single-threaded references -----------
     n_par = SIZES[-1]
@@ -272,6 +385,28 @@ def test_engine_microbench():
     t_agg_parallel = best_of(
         lambda: parallel_group_aggregate(agg_keys, specs, pool))
 
+    # Partitioned probe of a cached sorted index (the warm-loop case the
+    # hash-partitioned kernel cannot serve): sparse unique build keys force
+    # the sorted probe, chunked across the pool.
+    sparse_build = Column(prng.permutation(np.arange(n_par) * 9973 + 7), INT64)
+    sparse_probe = Column(
+        sparse_build.values[prng.integers(0, n_par, n_par)], INT64)
+    probe_index = build_key_index(sparse_build.values)
+    probe_note: list = []
+    ref_probe = join_indices([sparse_probe], [sparse_build],
+                             right_index=probe_index)
+    par_probe = parallel_probe_indexed([sparse_probe], [sparse_build],
+                                       probe_index, pool, probe_note)
+    assert probe_note == ["parallel-probe"]
+    assert np.array_equal(ref_probe[0], par_probe[0])
+    assert np.array_equal(ref_probe[1], par_probe[1])
+    t_probe_single = best_of(
+        lambda: join_indices([sparse_probe], [sparse_build],
+                             right_index=probe_index))
+    t_probe_parallel = best_of(
+        lambda: parallel_probe_indexed([sparse_probe], [sparse_build],
+                                       probe_index, pool))
+
     report["parallel"] = {
         "rows": n_par,
         "cpu_count": os.cpu_count(),
@@ -282,12 +417,16 @@ def test_engine_microbench():
         "aggregate_single_s": t_agg_single,
         "aggregate_parallel_s": t_agg_parallel,
         "aggregate_speedup": t_agg_single / t_agg_parallel,
+        "indexed_probe_single_s": t_probe_single,
+        "indexed_probe_parallel_s": t_probe_parallel,
+        "indexed_probe_speedup": t_probe_single / t_probe_parallel,
     }
     if n_workers >= 4:
         # The acceptance bar applies on multi-core runners; single-core
         # hosts record the (necessarily ~1x) numbers informationally.
         assert report["parallel"]["join_speedup"] >= 1.5
         assert report["parallel"]["aggregate_speedup"] >= 1.5
+        assert report["parallel"]["indexed_probe_speedup"] >= 1.3
 
     # -- GROUP BY sort skip over a pre-sorted stored column ----------------
     grng = np.random.default_rng(2)
@@ -320,13 +459,15 @@ def test_engine_microbench():
         rc_db = Database(n_segments=4, use_plan_cache=use_caches,
                          use_index_cache=use_caches,
                          use_physical_plans=use_caches,
-                         use_fusion=use_caches)
+                         use_fusion=use_caches,
+                         use_result_cache=use_caches)
         load_edges_into(rc_db, "edges", edges)
         started = time.perf_counter()
         result = RandomisedContraction().run(rc_db, "edges", seed=99)
         elapsed = time.perf_counter() - started
         vertices, labels = result.labels(rc_db)
         order = np.argsort(vertices, kind="stable")
+        rc_db.close()
         return elapsed, vertices[order], labels[order], result.stats
 
     t_on, v_on, l_on, stats_on = run_rc(True)
@@ -358,6 +499,9 @@ def test_engine_microbench():
             )
     pp = report["physical_plan"]
     fused = report["fused_distinct"]
+    fused_g = report["fused_group_by"]
+    hashed = report["hash_distinct"]
+    rcache = report["result_cache"]
     par = report["parallel"]
     skip = report["group_sort_skip"]
     lines += [
@@ -367,11 +511,27 @@ def test_engine_microbench():
         f"  physical plan hit rate   : {pp['round_loop_hit_rate']:.3f} on the"
         f" warm RC round loop ({pp['round_loop_planned_statements']} planned"
         f" statements; cold run {pp['cold_hit_rate']:.3f})",
+        f"  warm-loop kernel proofs  : {pp['rc_hash_distincts']} hash"
+        f" DISTINCTs, {pp['rc_parallel_indexed_probes']} parallel indexed"
+        f" probes, {pp['rc_fused_group_pipelines']} fused join->GROUP BYs",
         f"  fused join->DISTINCT 1e6 : wide"
         f" {fused['wide']['materialising_s'] * 1e3:.1f} ms ->"
         f" {fused['wide']['fused_s'] * 1e3:.1f} ms"
         f" ({fused['wide']['speedup']:.2f}x); contract shape"
         f" {fused['contract']['speedup']:.2f}x",
+        f"  fused join->GROUP BY 1e6 : wide"
+        f" {fused_g['wide']['materialising_s'] * 1e3:.1f} ms ->"
+        f" {fused_g['wide']['fused_s'] * 1e3:.1f} ms"
+        f" ({fused_g['wide']['speedup']:.2f}x); contract shape"
+        f" {fused_g['contract']['speedup']:.2f}x",
+        f"  hash pair-DISTINCT 1e6   : dup-heavy"
+        f" {hashed['duplicate_heavy']['lexsort_s'] * 1e3:.1f} ms ->"
+        f" {hashed['duplicate_heavy']['hash_s'] * 1e3:.1f} ms"
+        f" ({hashed['duplicate_heavy']['speedup']:.2f}x); unique-heavy"
+        f" {hashed['unique_heavy']['speedup']:.2f}x",
+        f"  result cache (count(*))  : {rcache['cold_s'] * 1e3:.2f} ms ->"
+        f" {rcache['warm_s'] * 1e6:.1f} us"
+        f" ({rcache['hits']} hits)",
         f"  parallel join 1e6        : {par['join_single_s'] * 1e3:.1f} ms ->"
         f" {par['join_parallel_s'] * 1e3:.1f} ms"
         f" ({par['join_speedup']:.2f}x, {par['workers']} workers,"
@@ -379,6 +539,9 @@ def test_engine_microbench():
         f"  parallel aggregate 1e6   : {par['aggregate_single_s'] * 1e3:.1f} ms"
         f" -> {par['aggregate_parallel_s'] * 1e3:.1f} ms"
         f" ({par['aggregate_speedup']:.2f}x)",
+        f"  parallel indexed probe   : {par['indexed_probe_single_s'] * 1e3:.1f}"
+        f" ms -> {par['indexed_probe_parallel_s'] * 1e3:.1f} ms"
+        f" ({par['indexed_probe_speedup']:.2f}x)",
         f"  presorted GROUP BY 1e6   : {skip['shuffled_s'] * 1e3:.1f} ms"
         f" (shuffled) vs {skip['presorted_s'] * 1e3:.1f} ms (sort skipped,"
         f" {skip['speedup']:.2f}x)",

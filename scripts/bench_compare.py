@@ -3,10 +3,18 @@
 
 Usage: bench_compare.py <baseline.json> <fresh.json>
 
-Prints per-metric deltas (numbers only, flattened by dotted path).  The
-comparison is informational: it always exits 0, so CI surfaces regressions
-without gating on timing noise.  Seconds-valued metrics show speed deltas
-(negative = faster); rates and counters show absolute change.
+Prints per-metric deltas (numbers only, flattened by dotted path).
+Seconds-valued metrics show speed deltas (negative = faster); rates and
+counters show absolute change.  Metrics present on only one side — a
+benchmark added since the baseline was committed, or one that was removed —
+are reported as ``new`` / ``removed`` instead of failing the comparison.
+
+Exit codes are deterministic so CI can stay informational on them:
+
+* ``0`` — every metric exists on both sides (values may still differ);
+* ``2`` — an input file is missing or not valid JSON;
+* ``3`` — schema drift: new and/or removed metrics were reported (commit a
+  refreshed baseline from ``benchmarks/results/`` when this is intended).
 """
 
 from __future__ import annotations
@@ -29,30 +37,37 @@ def flatten(node, prefix: str = "") -> dict[str, float]:
     return out
 
 
+def load(path: Path, hint: str) -> dict[str, float] | None:
+    if not path.exists():
+        print(f"bench-compare: no {hint} at {path} — nothing to compare")
+        return None
+    try:
+        return flatten(json.loads(path.read_text()))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"bench-compare: cannot read {hint} {path}: {error}")
+        return None
+
+
 def main(argv: list[str]) -> int:
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
-        return 0
-    baseline_path, fresh_path = Path(argv[1]), Path(argv[2])
-    if not baseline_path.exists():
-        print(f"bench-compare: no baseline at {baseline_path} — nothing to "
-              f"compare (commit one from benchmarks/results/)")
-        return 0
-    if not fresh_path.exists():
-        print(f"bench-compare: no fresh results at {fresh_path} — run "
-              f"`make bench-engine` first")
-        return 0
-    baseline = flatten(json.loads(baseline_path.read_text()))
-    fresh = flatten(json.loads(fresh_path.read_text()))
+        return 2
+    baseline = load(Path(argv[1]), "baseline")
+    fresh = load(Path(argv[2]), "fresh results (run `make bench-engine`)")
+    if baseline is None or fresh is None:
+        return 2
     width = max((len(k) for k in baseline | fresh), default=10)
+    new_keys = removed_keys = 0
     print(f"{'metric':<{width}}  {'baseline':>12}  {'fresh':>12}  {'delta':>8}")
     for key in sorted(baseline | fresh):
         old = baseline.get(key)
         new = fresh.get(key)
         if old is None:
+            new_keys += 1
             print(f"{key:<{width}}  {'-':>12}  {new:>12.6g}  {'new':>8}")
         elif new is None:
-            print(f"{key:<{width}}  {old:>12.6g}  {'-':>12}  {'gone':>8}")
+            removed_keys += 1
+            print(f"{key:<{width}}  {old:>12.6g}  {'-':>12}  {'removed':>8}")
         else:
             if old:
                 delta = f"{(new - old) / abs(old) * 100:+.1f}%"
@@ -61,6 +76,11 @@ def main(argv: list[str]) -> int:
             print(f"{key:<{width}}  {old:>12.6g}  {new:>12.6g}  {delta:>8}")
     print("\nbench-compare is informational; timing metrics are in seconds "
           "(negative delta = faster).")
+    if new_keys or removed_keys:
+        print(f"bench-compare: schema drift — {new_keys} new, "
+              f"{removed_keys} removed metric(s); refresh "
+              f"benchmarks/baselines/ if this is intended.")
+        return 3
     return 0
 
 

@@ -229,9 +229,14 @@ def render_engine_stats(stats) -> str:
         f"  index cache        : {stats.index_cache_hits} hits / "
         f"{stats.index_cache_misses} misses",
         f"  joins pruned       : {stats.joins_pruned}",
-        f"  fused pipelines    : {stats.fused_pipelines}",
+        f"  fused pipelines    : {stats.fused_pipelines} DISTINCT / "
+        f"{stats.fused_group_pipelines} GROUP BY",
+        f"  hash DISTINCTs     : {stats.hash_distincts}",
         f"  group sorts skipped: {stats.group_sorts_skipped}",
-        f"  parallel partitions: {stats.parallel_partitions}",
+        f"  parallel partitions: {stats.parallel_partitions}"
+        f"  (indexed probes {stats.parallel_indexed_probes})",
+        f"  result cache       : {stats.subquery_cache_hits} hits / "
+        f"{stats.subquery_cache_misses} misses",
     ]
     return "\n".join(lines)
 

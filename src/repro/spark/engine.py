@@ -59,6 +59,11 @@ def _partition_ids(key: Column, n_tasks: int) -> np.ndarray:
 class SparkExecutor(Executor):
     """Executor with shuffle-everything, per-task kernel execution."""
 
+    #: The partitioned join concatenates per-task outputs partition-major,
+    #: so its left-row indices are not ascending — the fused join->GROUP BY
+    #: expansion cannot run on it and falls back to the staged pipeline.
+    monotone_join_output = False
+
     def __init__(self, catalog, registry, cluster, stats, n_tasks: int = 64):
         # Spark SQL has no MPP-style table indexes to reuse; keep the
         # shuffle-everything accounting pure by disabling the index cache.
@@ -156,11 +161,11 @@ class SparkExecutor(Executor):
             offset += rows.size
         return np.concatenate(out_order), np.concatenate(out_starts)
 
-    def _distinct_kernel(self, columns):
+    def _distinct_kernel(self, columns, note=None):
         n = len(columns[0]) if columns else 0
         if n < self.n_tasks * 4:
             self.tasks_launched += 1
-            return distinct_rows(columns)
+            return distinct_rows(columns, note=note)
         parts = _partition_ids(columns[0], self.n_tasks)
         order = np.argsort(parts, kind="stable")
         bounds = np.searchsorted(parts[order], np.arange(self.n_tasks + 1))
@@ -176,9 +181,11 @@ class SparkExecutor(Executor):
             return np.empty(0, dtype=np.int64)
         # Distinct rows may still collide across partitions only when the
         # first column alone did not separate them; finish with one pass.
+        # The concatenation is partition-major, so the result is sorted to
+        # honour the kernel contract (ascending row order).
         candidate = np.concatenate(keep)
         sub = [col.take(candidate) for col in columns]
-        return candidate[distinct_rows(sub)]
+        return np.sort(candidate[distinct_rows(sub)])
 
 
 class SparkSQLDatabase(Database):

@@ -93,6 +93,8 @@ from .parallel import (
     parallel_group_aggregate,
     parallel_join_indices,
     parallel_left_join_indices,
+    parallel_left_probe_indexed,
+    parallel_probe_indexed,
 )
 from .physicalplan import (
     CorePlan,
@@ -209,6 +211,13 @@ class Frame:
 class Executor:
     """Executes parsed statements against a catalog."""
 
+    #: Contract of this executor's join kernels: output rows are grouped by
+    #: left row, ascending.  The fused join->GROUP BY expansion
+    #: (:func:`_expand_group_order`) relies on it; executors whose kernels
+    #: break it — the Spark model's partition-major concatenation — must
+    #: set this False so the shape falls back to the staged pipeline.
+    monotone_join_output = True
+
     def __init__(
         self,
         catalog: Catalog,
@@ -290,6 +299,26 @@ class Executor:
             and max(len(left_keys[0]), len(right_keys[0])) >= PARALLEL_MIN_ROWS
         )
 
+    def _parallel_probe_eligible(
+        self,
+        left_keys: list[Column],
+        right_keys: list[Column],
+        right_index: Optional[KeyIndex],
+    ) -> bool:
+        """Cached build-side index present: the probe side can be chunked."""
+        pool = self.pool
+        return (
+            pool is not None
+            and pool.n_workers > 1
+            and right_index is not None
+            and len(left_keys) == 1
+            and left_keys[0].mask is None
+            and right_keys[0].mask is None
+            and left_keys[0].values.dtype.kind == "i"
+            and right_keys[0].values.dtype.kind == "i"
+            and len(left_keys[0]) >= PARALLEL_MIN_ROWS
+        )
+
     def _join_kernel(
         self,
         left_keys: list[Column],
@@ -302,7 +331,24 @@ class Executor:
                                         left_index, right_index):
             self.stats.record_parallel_partitions(self.pool.n_segments)
             return parallel_join_indices(left_keys, right_keys, self.pool, note)
+        if self._parallel_probe_eligible(left_keys, right_keys, right_index):
+            local_note: list = []
+            result = parallel_probe_indexed(left_keys, right_keys, right_index,
+                                            self.pool, local_note)
+            self._record_probe_note(local_note, note)
+            return result
         return join_indices(left_keys, right_keys, left_index, right_index, note)
+
+    def _record_probe_note(
+        self, local_note: list, note: Optional[list]
+    ) -> None:
+        """Fold a parallel-probe kernel's note into stats and the caller's
+        note (the kernel may have fallen back to a single-threaded path)."""
+        if local_note and local_note[-1].startswith("parallel-"):
+            self.stats.record_parallel_partitions(self.pool.n_segments)
+            self.stats.record_parallel_indexed_probe()
+        if note is not None:
+            note.extend(local_note)
 
     def _left_join_kernel(
         self,
@@ -317,6 +363,13 @@ class Executor:
             self.stats.record_parallel_partitions(self.pool.n_segments)
             return parallel_left_join_indices(left_keys, right_keys,
                                               self.pool, note)
+        if self._parallel_probe_eligible(left_keys, right_keys, right_index):
+            local_note: list = []
+            result = parallel_left_probe_indexed(
+                left_keys, right_keys, right_index, self.pool, local_note
+            )
+            self._record_probe_note(local_note, note)
+            return result
         return left_join_indices(left_keys, right_keys, left_index,
                                  right_index, note)
 
@@ -325,8 +378,20 @@ class Executor:
     ) -> tuple[np.ndarray, np.ndarray]:
         return group_rows(key_columns, index=index)
 
-    def _distinct_kernel(self, columns: list[Column]) -> np.ndarray:
-        return distinct_rows(columns)
+    def _distinct_kernel(
+        self, columns: list[Column], note: Optional[list] = None
+    ) -> np.ndarray:
+        """First-occurrence rows, in ascending row order (the kernels'
+        contract; overriding executors must normalise their own output)."""
+        return distinct_rows(columns, note=note)
+
+    def _run_distinct(self, columns: list[Column]) -> np.ndarray:
+        """Dispatch a DISTINCT kernel and record which strategy engaged."""
+        note: list = []
+        keep = self._distinct_kernel(columns, note=note)
+        if "hash" in note:
+            self.stats.record_hash_distinct()
+        return keep
 
     # ------------------------------------------------------------------
     # statement dispatch
@@ -518,10 +583,18 @@ class Executor:
         return Relation(list(first.names), columns, None,
                         display_names=list(first.display_names))
 
+    def _fuse_group(self, plan: CorePlan) -> bool:
+        return plan.fused_group is not None and self.monotone_join_output
+
     def _run_core(self, plan: CorePlan) -> Relation:
         core = plan.core
         if plan.fused is not None:
             return self._run_fused_distinct(plan)
+        if self._fuse_group(plan):
+            relation = self._run_fused_group(plan)
+            if core.distinct:
+                relation = self._distinct(relation)
+            return relation
         frame = self._execute_from(plan)
         if plan.is_aggregate:
             relation = self._aggregate(core, frame)
@@ -546,10 +619,11 @@ class Executor:
                     frames[scan.binding], scan.filters
                 )
         current = frames[plan.scans[0].binding]
-        steps = plan.steps if plan.fused is None else plan.steps[:-1]
+        fuse_final = plan.fused is not None or self._fuse_group(plan)
+        steps = plan.steps[:-1] if fuse_final else plan.steps
         for step in steps:
             current = self._execute_step(current, frames[step.binding], step)
-        if plan.fused is not None:
+        if fuse_final:
             return current, frames[plan.steps[-1].binding]
         for left_join in plan.left_joins:
             current = self._execute_left_join(current, left_join)
@@ -765,13 +839,123 @@ class Executor:
                 motion.moved_bytes // self.cluster.n_segments,
                 self.cluster.n_segments,
             )
-        keep_idx = np.sort(self._distinct_kernel(key_columns))
+        keep_idx = self._run_distinct(key_columns)
         deduped = {
             key: out_columns[key].take(keep_idx) for key in fused.out_keys
         }
         # The staged pipeline's _distinct rebuilds the relation without
         # display names; mirror that so both paths are indistinguishable.
         return Relation(list(fused.out_keys), deduped, fused.out_distribution)
+
+    # -- fused join -> GROUP BY --------------------------------------------
+
+    def _run_fused_group(self, plan: CorePlan) -> Relation:
+        """Run a compiled fused join->GROUP BY: final join, residual filter
+        and aggregation in one pass over the probe stream.
+
+        Only aggregate arguments and residual inputs are gathered at join
+        output size; the grouping order comes from grouping the *pre-join*
+        left side (which can use a stored table's cached index — provenance
+        the staged pipeline loses the moment it materialises the join) and
+        expanding it through the join's monotone left-row indices.
+        """
+        core = plan.core
+        fused = plan.fused_group
+        left, right = self._execute_from(plan)
+        step = plan.steps[-1]
+        l_idx, r_idx = self._join_step_indices(left, right, step)
+        columns = {
+            name: left.columns[name].take(l_idx) for name in fused.left_gather
+        }
+        columns.update({
+            name: right.columns[name].take(r_idx) for name in fused.right_gather
+        })
+        n_rows = int(l_idx.shape[0])
+
+        def row_env() -> Environment:
+            env_map: dict[str, Column] = dict(columns)
+            for bare, qualified in fused.bare_names.items():
+                env_map[bare] = columns[qualified]
+            return Environment(env_map, n_rows, self.registry)
+
+        if plan.residual:
+            env = row_env()
+            keep = np.ones(n_rows, dtype=bool)
+            for predicate in plan.residual:
+                keep &= truth_values(evaluate(predicate, env))
+            if not keep.all():
+                columns = {
+                    name: col.filter(keep) for name, col in columns.items()
+                }
+                l_idx = l_idx[keep]
+                n_rows = int(keep.sum())
+
+        # Group the left side once (cached-index aware), then expand through
+        # the monotone left-row indices of the join output.
+        key_columns = [left.columns[name] for name in fused.key_quals]
+        group_index = None
+        if len(fused.key_quals) == 1:
+            group_index = self._stored_index(left, fused.key_quals[0],
+                                             build=True)
+        left_order, left_starts = self._group_kernel(key_columns,
+                                                     index=group_index)
+        order, starts = _expand_group_order(left_order, left_starts, l_idx,
+                                            left.length)
+        n_groups = int(starts.shape[0])
+        counts = np.diff(np.append(starts, order.shape[0]))
+
+        # Motion: the same charge the staged pipeline pays to co-locate its
+        # materialised frame by group key (gathered columns plus the key
+        # columns the fusion never gathers).
+        frame_bytes = sum(col.byte_size() for col in columns.values())
+        for column in key_columns:
+            width = column.byte_size() // len(column) if len(column) else 8
+            frame_bytes += width * n_rows
+        motion = self.cluster.plan_motion(frame_bytes, n_rows, fused.colocated)
+        if motion.kind == "redistribute":
+            self.stats.record_redistribution(motion.moved_bytes)
+        elif motion.kind == "broadcast":
+            self.stats.record_broadcast(
+                motion.moved_bytes // self.cluster.n_segments,
+                self.cluster.n_segments,
+            )
+
+        env = row_env()
+        aggregates: list[Aggregate] = []
+        for item in core.items:
+            collect_aggregates(item.expr, aggregates)
+        agg_results: dict[Aggregate, Column] = {}
+        for node in aggregates:
+            agg_results[node] = self._compute_aggregate(
+                node, env, None, order, starts, counts, n_groups, [], False,
+            )
+
+        group_refs = list(core.group_by)
+        first_rows = l_idx[order[starts]] if n_groups else \
+            np.empty(0, dtype=np.int64)
+        group_env_columns: dict[str, Column] = {}
+        for qualified, bare, column in zip(fused.key_quals, fused.key_bares,
+                                           key_columns):
+            grouped = column.take(first_rows)
+            group_env_columns[qualified] = grouped
+            group_env_columns.setdefault(bare, grouped)
+        group_env = Environment(group_env_columns, n_groups, self.registry,
+                                aggregates=agg_results)
+        names: list[str] = []
+        display: list[str] = []
+        out_columns: dict[str, Column] = {}
+        for position, item in enumerate(core.items):
+            if isinstance(item.expr, Star):
+                raise PlanError("'*' cannot be combined with GROUP BY")
+            name = self._output_name(item, position)
+            key = name if name not in out_columns else f"{name}__{position + 1}"
+            self._check_grouped_refs(item.expr, group_refs)
+            out_columns[key] = evaluate(item.expr, group_env)
+            names.append(key)
+            display.append(name)
+        self.stats.record_fused_group_pipeline()
+        return Relation(names, out_columns, plan.out_distribution,
+                        display_names=display)
 
     # -- projection / aggregation / distinct -------------------------------
 
@@ -1125,15 +1309,46 @@ class Executor:
             self.stats.record_broadcast(
                 plan.moved_bytes // self.cluster.n_segments, self.cluster.n_segments
             )
-        keep = self._distinct_kernel(columns)
-        keep = np.sort(keep)
+        keep = self._run_distinct(columns)
         new_columns = {n: relation.columns[n].take(keep) for n in relation.names}
         return Relation(list(relation.names), new_columns, relation.distribution)
 
 
 # ---------------------------------------------------------------------------
-# index statistics helpers
+# fused-grouping and index statistics helpers
 # ---------------------------------------------------------------------------
+
+
+def _expand_group_order(
+    left_order: np.ndarray,
+    left_starts: np.ndarray,
+    l_idx: np.ndarray,
+    n_left: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand a left-side grouping through a join's monotone left indices.
+
+    Every join kernel emits output grouped by left row, ascending, so
+    ``l_idx`` is non-decreasing and each left row owns one contiguous slot
+    range of the output.  The left side's stable grouping
+    ``(left_order, left_starts)`` therefore expands to exactly the stable
+    grouping ``group_rows`` would compute over the gathered key columns:
+    visit left rows in left-grouping order and emit each row's slot range.
+    Left rows the join dropped contribute nothing; groups that lose every
+    row vanish, like keys that never reach the staged pipeline's frame.
+    """
+    total = int(l_idx.shape[0])
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    counts = np.bincount(l_idx, minlength=n_left).astype(np.int64, copy=False)
+    slot_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    cnt = counts[left_order]
+    offsets = np.concatenate(([0], np.cumsum(cnt)[:-1]))
+    within = np.arange(total) - np.repeat(offsets, cnt)
+    order = np.repeat(slot_starts[left_order], cnt) + within
+    group_totals = np.add.reduceat(cnt, left_starts)
+    starts = np.concatenate(([0], np.cumsum(group_totals)[:-1]))
+    keep = group_totals > 0
+    return order, starts[keep]
 
 
 def _ranges_disjoint(

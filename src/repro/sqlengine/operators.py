@@ -21,13 +21,21 @@ Two execution strategies coexist:
 
 * **Sort-merge kernels** (:func:`merge_join_indices`,
   :func:`sorted_group_rows`) remain as the reference implementation and
-  the fallback for multi-column keys, text keys, and NULL-bearing inputs.
+  the fallback for text keys and NULL-bearing inputs.  Multi-column and
+  unpackable sparse-pair DISTINCT run on an open-addressing **hash-table
+  kernel** (:func:`_hash_distinct_int`, splitmix64 probing) instead of a
+  lexsort — the shape of the contraction query's ``select distinct v1, v2``
+  once representatives are 64-bit field values whose spans defeat pair
+  packing.
 
 Every fast path is *plan-stable*: it returns exactly the same index arrays,
 in exactly the same order, as the sort-merge reference.  The property tests
 in ``tests/test_operators.py`` enforce this, and it is what makes the
 engine's output bit-for-bit reproducible regardless of which kernel the
-dispatch picks.
+dispatch picks.  DISTINCT kernels return first-occurrence positions in
+ascending *row* order (the key-value ordering of earlier revisions was an
+artefact of the sort-based implementation; row order is strategy-neutral,
+so the hash path never pays a key sort it does not need).
 
 Every kernel must behave on empty inputs, because the termination condition
 of every reproduced algorithm ("repeat until the edge table is empty") makes
@@ -41,6 +49,7 @@ from typing import Optional
 import numpy as np
 
 from .errors import ExecutionError
+from .mpp import hash64
 from .types import TEXT, Column
 
 #: Right-index sentinel for unmatched rows in a left outer join.
@@ -288,6 +297,24 @@ def merge_join_indices(
     return left_rows[l_idx], right_rows[r_idx]
 
 
+def pad_left_outer(
+    l_idx: np.ndarray, r_idx: np.ndarray, n_left: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Append unmatched left rows (``right == NO_MATCH``) to an inner-join
+    result — the shared left-outer step of every join kernel, so the
+    padding order can never diverge between strategies."""
+    matched = np.zeros(n_left, dtype=bool)
+    matched[l_idx] = True
+    missing = np.flatnonzero(~matched)
+    if missing.size == 0:
+        return l_idx, r_idx
+    left_rows = np.concatenate([l_idx, missing])
+    right_rows = np.concatenate(
+        [r_idx, np.full(missing.size, NO_MATCH, dtype=np.int64)]
+    )
+    return left_rows, right_rows
+
+
 def left_join_indices(
     left_keys: list[Column],
     right_keys: list[Column],
@@ -302,15 +329,7 @@ def left_join_indices(
     """
     l_idx, r_idx = join_indices(left_keys, right_keys, left_index, right_index,
                                 note)
-    n_left = len(left_keys[0])
-    matched = np.zeros(n_left, dtype=bool)
-    matched[l_idx] = True
-    missing = np.flatnonzero(~matched)
-    if missing.size == 0:
-        return l_idx, r_idx
-    left_rows = np.concatenate([l_idx, missing])
-    right_rows = np.concatenate([r_idx, np.full(missing.size, NO_MATCH, dtype=np.int64)])
-    return left_rows, right_rows
+    return pad_left_outer(l_idx, r_idx, len(left_keys[0]))
 
 
 def _join_core(
@@ -535,36 +554,43 @@ def _boundaries(sorted_values: np.ndarray) -> np.ndarray:
 
 
 def distinct_rows(
-    columns: list[Column], index: Optional[KeyIndex] = None
+    columns: list[Column],
+    index: Optional[KeyIndex] = None,
+    note: Optional[list] = None,
 ) -> np.ndarray:
-    """Row indices of the first occurrence of each distinct row.
+    """First-occurrence row of each distinct key, in ascending row order.
 
     ``index`` serves callers that hold a cached :class:`KeyIndex` for a
     single-column input; the executor's DISTINCT runs on post-projection
-    relations (no table provenance), so it does not pass one.
+    relations (no table provenance), so it does not pass one.  ``note``,
+    when given, receives the kernel strategy the dispatch settled on
+    (``"dense"``, ``"hash"``, ``"sort"`` ...) for executor telemetry.
     """
     if not columns:
         return np.empty(0, dtype=np.int64)
     n = len(columns[0])
     if n == 0:
+        if note is not None:
+            note.append("empty")
         return np.empty(0, dtype=np.int64)
-    if len(columns) == 1 and columns[0].mask is None \
-            and columns[0].values.dtype.kind == "i":
-        return _distinct_int(columns[0].values, index)
-    if (
-        len(columns) == 2
-        and all(c.mask is None and c.values.dtype.kind == "i" for c in columns)
-    ):
-        packed = _pack_int_pair(columns[0].values, columns[1].values)
-        if packed is not None:
-            # The packing is a bijection ordered like the (a, b) lexsort,
-            # so the single-column kernel returns the identical index set
-            # in the identical order as the group-based reference.
-            return _distinct_int(packed, None)
+    if all(c.mask is None and c.values.dtype.kind == "i" for c in columns):
+        if len(columns) == 1:
+            return _distinct_int(columns[0].values, index, note)
+        if len(columns) == 2:
+            packed = _pack_int_pair(columns[0].values, columns[1].values)
+            if packed is not None:
+                # The packing is a bijection, so the single-column kernel
+                # keeps exactly the rows the group-based reference keeps.
+                return _distinct_int(packed, None, note)
+        # Unpackable pairs (spans overflow 63 bits — 64-bit field values)
+        # and wider integer keys: hash table instead of a lexsort.
+        return _hash_distinct_int([c.values for c in columns], note)
+    if note is not None:
+        note.append("sort")
     order, starts = group_rows(columns, index=index)
     if order.size == 0:
         return order
-    return order[starts]
+    return np.sort(order[starts])
 
 
 def _pack_int_pair(a: np.ndarray, b: np.ndarray) -> Optional[np.ndarray]:
@@ -582,32 +608,90 @@ def _pack_int_pair(a: np.ndarray, b: np.ndarray) -> Optional[np.ndarray]:
     return (a - a_min) * np.int64(b_span) + (b - b_min)
 
 
-def _distinct_int(values: np.ndarray, index: Optional[KeyIndex]) -> np.ndarray:
+def _distinct_int(
+    values: np.ndarray, index: Optional[KeyIndex], note: Optional[list] = None
+) -> np.ndarray:
     """DISTINCT over one NULL-free integer column.
 
     Dense key ranges use a first-occurrence scatter (O(n), no sort): writing
     positions in reverse order leaves each slot holding the *first* original
-    occurrence, matching the sort-based reference exactly.
+    occurrence, so the kept row set matches the sort-based reference exactly.
     """
     n = int(values.shape[0])
     if index is not None and index.n_rows == n:
-        return index.order[_boundaries(index.sorted_values)]
+        if note is not None:
+            note.append("index")
+        return np.sort(index.order[_boundaries(index.sorted_values)])
     vmin, vmax = int(values.min()), int(values.max())
     span = vmax - vmin + 1
     if span <= _dense_span_limit(n):
+        if note is not None:
+            note.append("dense")
         rel = values - vmin
         first = np.full(span, -1, dtype=np.int64)
         first[rel[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
         firsts = first[first >= 0]
-        # Scatter yields first occurrences ordered by key value — the same
-        # set the sorted reference produces, in the same order.
-        return firsts
+        return np.sort(firsts)
     # Sparse keys: an *unstable* sort (numpy's introsort is ~4x faster than
     # the stable radix argsort here) followed by a per-group position
     # minimum.  The minimum of each equal-key run is its first original
-    # occurrence, so the result matches the stable reference exactly and
-    # arrives ordered by key value like the dense path.
+    # occurrence, so the result matches the stable reference exactly.
+    if note is not None:
+        note.append("sparse-sort")
     order = np.argsort(values, kind="quicksort")
     sorted_values = values[order]
     starts = _boundaries(sorted_values)
-    return np.minimum.reduceat(order, starts)
+    return np.sort(np.minimum.reduceat(order, starts))
+
+
+#: Open-addressing hash tables are sized to the next power of two at or
+#: above ``HASH_TABLE_LOAD`` times the row count (load factor <= 0.5).
+HASH_TABLE_LOAD = 2
+
+
+def _hash_distinct_int(
+    arrays: list[np.ndarray], note: Optional[list] = None
+) -> np.ndarray:
+    """DISTINCT over NULL-free integer key columns via an open-addressing
+    hash table, O(n) expected — no lexsort over the full input.
+
+    Every row probes a splitmix64-addressed slot table with linear probing,
+    all rows in lock-step per probe distance: unclaimed slots are claimed by
+    the *lowest* pending row that hashes to them (a reversed scatter makes
+    the first writer win), rows whose slot holder carries an equal key are
+    duplicates and drop out, everything else moves one slot over.  Equal
+    keys share a probe sequence, so the first occurrence always either
+    claims the slot or is the row every later duplicate compares against —
+    the kept set is exactly the reference's, returned in row order.
+    """
+    if note is not None:
+        note.append("hash")
+    n = int(arrays[0].shape[0])
+    size = 1 << max(int(HASH_TABLE_LOAD * n - 1).bit_length(), 4)
+    slot_mask = np.int64(size - 1)
+    mixed = None
+    for array in arrays:
+        unsigned = array.astype(np.uint64, copy=False)
+        mixed = hash64(unsigned if mixed is None else unsigned ^ mixed)
+    slot = (mixed.astype(np.int64) & slot_mask)
+    slot_of = np.full(size, -1, dtype=np.int64)
+    keep = np.zeros(n, dtype=bool)
+    pending = np.arange(n, dtype=np.int64)
+    while pending.size:
+        probed = slot[pending]
+        holder = slot_of[probed]
+        unclaimed = holder < 0
+        if unclaimed.any():
+            slots = probed[unclaimed]
+            claimants = pending[unclaimed]
+            slot_of[slots[::-1]] = claimants[::-1]
+            holder = slot_of[probed]
+        won = holder == pending
+        keep[pending[won]] = True
+        duplicate = np.ones(pending.size, dtype=bool)
+        for array in arrays:
+            duplicate &= array[holder] == array[pending]
+        pending = pending[~(won | duplicate)]
+        if pending.size:
+            slot[pending] = (slot[pending] + 1) & slot_mask
+    return np.flatnonzero(keep)

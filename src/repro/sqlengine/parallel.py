@@ -18,6 +18,15 @@ workloads: equi-joins and keyed aggregation.
   even float sums reduce in the reference order), and the final step merges
   the disjoint per-partition group lists by key.
 
+* :func:`parallel_probe_indexed` parallelises the *indexed* join path —
+  the one the hash-partitioned kernel cannot serve, because a cached
+  build-side :class:`~repro.sqlengine.operators.KeyIndex` is positional
+  and per-partition hash joins would rebuild it from scratch.  Binary-
+  search probes are independent per row, so the probe side is split into
+  contiguous chunks, each worker runs ``searchsorted`` against the shared
+  sorted index, and the chunk outputs concatenate back in probe order —
+  trivially identical to the single-threaded sorted-index probe.
+
 Both kernels are **bit-identical** to their single-threaded references —
 :func:`~repro.sqlengine.operators.join_indices` and
 :func:`group_aggregate` below — which the property tests enforce.  numpy
@@ -35,11 +44,14 @@ import numpy as np
 from .errors import ExecutionError
 from .mpp import SegmentPool, partition_rows
 from .operators import (
-    NO_MATCH,
+    KeyIndex,
     _boundaries,
+    _dense_span_limit,
     _empty_pair,
     _hash_join_int,
     join_indices,
+    left_join_indices,
+    pad_left_outer,
 )
 from .types import INT64, Column
 
@@ -139,17 +151,118 @@ def parallel_left_join_indices(
     """Segment-parallel left outer join (inner join plus NO_MATCH padding,
     exactly like the single-threaded composition)."""
     l_idx, r_idx = parallel_join_indices(left_keys, right_keys, pool, note)
-    n_left = len(left_keys[0])
-    matched = np.zeros(n_left, dtype=bool)
-    matched[l_idx] = True
-    missing = np.flatnonzero(~matched)
-    if missing.size == 0:
-        return l_idx, r_idx
-    left_rows = np.concatenate([l_idx, missing])
-    right_rows = np.concatenate(
-        [r_idx, np.full(missing.size, NO_MATCH, dtype=np.int64)]
+    return pad_left_outer(l_idx, r_idx, len(left_keys[0]))
+
+
+def _probe_chunks(n_rows: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Contiguous, in-order chunk bounds covering ``n_rows`` probe rows."""
+    bounds = [(n_rows * part) // n_chunks for part in range(n_chunks + 1)]
+    return [
+        (bounds[part], bounds[part + 1])
+        for part in range(n_chunks)
+        if bounds[part] < bounds[part + 1]
+    ]
+
+
+def parallel_probe_indexed(
+    left_keys: list[Column],
+    right_keys: list[Column],
+    right_index: KeyIndex,
+    pool: SegmentPool,
+    note: Optional[list] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Probe a cached sorted build-side index in parallel chunks.
+
+    Bit-identical to ``join_indices(..., right_index=right_index)``: the
+    probe side is cut into contiguous chunks, so concatenating the chunk
+    outputs reproduces the single-threaded probe order exactly (grouped by
+    left row ascending; within a row, matches in stable key order).
+
+    Shapes outside the kernel — multi-column, text or NULL-bearing keys,
+    and dense build-side key ranges where the O(n) direct-address join
+    beats any probe — fall back to the single-threaded dispatch.
+    """
+    if not (_parallel_eligible(left_keys) and _parallel_eligible(right_keys)):
+        return join_indices(left_keys, right_keys, right_index=right_index,
+                            note=note)
+    lk = left_keys[0].values
+    rk = right_keys[0].values
+    n_left = int(lk.shape[0])
+    n_right = int(rk.shape[0])
+    if n_left == 0 or n_right == 0:
+        if note is not None:
+            note.append("empty")
+        return _empty_pair()
+    if right_index.min_value is not None:
+        span = right_index.max_value - right_index.min_value + 1
+        if span <= _dense_span_limit(n_right):
+            # Dense build side: the direct-address kernel is already O(n).
+            return join_indices(left_keys, right_keys,
+                                right_index=right_index, note=note)
+    # Materialise the lazy index properties once, before worker threads
+    # share them.
+    sorted_values = right_index.sorted_values
+    order = None if right_index.is_sorted else right_index.order
+    chunks = _probe_chunks(n_left, pool.n_segments)
+    if right_index.is_unique:
+        if note is not None:
+            note.append("parallel-probe")
+
+        def probe_unique(bounds: tuple[int, int]):
+            start, stop = bounds
+            sub = lk[start:stop]
+            pos = np.searchsorted(sorted_values, sub)
+            np.minimum(pos, n_right - 1, out=pos)
+            match = sorted_values[pos] == sub
+            l_local = np.flatnonzero(match)
+            hits = pos[l_local]
+            r_local = hits if order is None else order[hits]
+            return l_local + start, r_local
+
+        results = pool.map(probe_unique, chunks)
+    else:
+        if note is not None:
+            note.append("parallel-merge-probe")
+
+        def probe_runs(bounds: tuple[int, int]):
+            start, stop = bounds
+            sub = lk[start:stop]
+            lo = np.searchsorted(sorted_values, sub, side="left")
+            hi = np.searchsorted(sorted_values, sub, side="right")
+            counts = hi - lo
+            total = int(counts.sum())
+            if total == 0:
+                return _empty_pair()
+            l_local = np.repeat(np.arange(sub.shape[0]), counts)
+            run_starts = np.repeat(lo, counts)
+            offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            within = np.arange(total) - np.repeat(offsets, counts)
+            r_sorted_pos = run_starts + within
+            r_local = r_sorted_pos if order is None else order[r_sorted_pos]
+            return l_local + start, r_local
+
+        results = pool.map(probe_runs, chunks)
+    return (
+        np.concatenate([left for left, _ in results]),
+        np.concatenate([right for _, right in results]),
     )
-    return left_rows, right_rows
+
+
+def parallel_left_probe_indexed(
+    left_keys: list[Column],
+    right_keys: list[Column],
+    right_index: KeyIndex,
+    pool: SegmentPool,
+    note: Optional[list] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Left-outer variant of :func:`parallel_probe_indexed` (inner probe
+    plus NO_MATCH padding, exactly like the single-threaded composition)."""
+    if not (_parallel_eligible(left_keys) and _parallel_eligible(right_keys)):
+        return left_join_indices(left_keys, right_keys,
+                                 right_index=right_index, note=note)
+    l_idx, r_idx = parallel_probe_indexed(left_keys, right_keys, right_index,
+                                          pool, note)
+    return pad_left_outer(l_idx, r_idx, len(left_keys[0]))
 
 
 def _runs(sorted_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -32,7 +32,13 @@ The compiler also wires in **pipeline fusion** (enabled via ``fuse``):
 * **fused join→DISTINCT** — a ``SELECT DISTINCT col, ...`` directly above
   the final join skips the intermediate frame and relation entirely: the
   executor runs the join kernel, gathers exactly the projected columns,
-  applies the residual filter and deduplicates in one pass.
+  applies the residual filter and deduplicates in one pass; and
+* **fused join→GROUP BY** — a GROUP BY whose keys live on the left side of
+  the final join aggregates directly over the probe stream: only aggregate
+  arguments and residual inputs are gathered, and the grouping order is
+  computed on the pre-join left side (cached-index aware) and expanded
+  through the join's monotone left-row indices, so the joined group-key
+  column is never materialised or sorted at output size.
 
 Compiling ``fuse=False`` reproduces the seed's materialising pipeline,
 which the benchmarks use as the comparison baseline and the property tests
@@ -56,7 +62,11 @@ from .ast_nodes import (
     TableRef,
 )
 from .errors import PlanError
-from .expressions import collect_column_refs, contains_aggregate
+from .expressions import (
+    collect_aggregates,
+    collect_column_refs,
+    contains_aggregate,
+)
 from .table import Catalog
 
 
@@ -210,6 +220,26 @@ class FusedDistinctPlan:
 
 
 @dataclass
+class FusedGroupPlan:
+    """GROUP BY of left-side keys directly above the final join.
+
+    The executor runs the final join kernel, gathers only the aggregate
+    arguments and residual inputs, and aggregates straight over the probe
+    stream: the grouping order is computed on the *pre-join* left side
+    (cached-index aware, ``n_left`` rows) and expanded through the join's
+    monotone left-row indices, so the joined group-key column is never
+    materialised and never sorted at output size.
+    """
+
+    key_quals: list[str]  # qualified group keys, one per GROUP BY expr
+    key_bares: list[Optional[str]]  # bare spelling of each key ref, if any
+    left_gather: list[str]  # row-level columns gathered from the left frame
+    right_gather: list[str]  # ... and from the right frame
+    bare_names: dict[str, str]  # bare name -> qualified, for the row env
+    colocated: bool  # group keys lie inside the join output's distribution
+
+
+@dataclass
 class CorePlan:
     """The compiled pipeline of one SELECT core."""
 
@@ -223,6 +253,7 @@ class CorePlan:
     display_names: list[str]
     out_distribution: Optional[str]
     fused: Optional[FusedDistinctPlan]
+    fused_group: Optional[FusedGroupPlan] = None
 
 
 @dataclass
@@ -500,9 +531,22 @@ class _Compiler:
                 out_names, display, out_distribution,
             )
 
+        fused_group = None
+        if (
+            self.fuse
+            and is_aggregate
+            and core.group_by
+            and steps
+            and not steps[-1].cartesian
+            and not left_plans
+        ):
+            fused_group = self._compile_fused_group(
+                core, steps[-1], all_bindings, residual
+            )
+
         return CorePlan(core, scans, steps, left_plans, residual,
                         is_aggregate, out_names, display, out_distribution,
-                        fused)
+                        fused, fused_group)
 
     # -- inner / left join steps -----------------------------------------
 
@@ -785,6 +829,64 @@ class _Compiler:
             list(display),
             out_distribution,
         )
+
+
+    # -- fused join -> GROUP BY -------------------------------------------
+
+    def _compile_fused_group(
+        self, core, last_step, all_bindings, residual
+    ) -> Optional[FusedGroupPlan]:
+        """Compile the fused join->GROUP BY shape, or ``None`` if the core
+        falls outside it (right-side keys, count(distinct), exotic refs —
+        those keep the staged pipeline, including its error reporting)."""
+        right_binding = last_step.binding
+        key_quals: list[str] = []
+        key_bares: list[Optional[str]] = []
+        for expr in core.group_by:
+            if not isinstance(expr, ColumnRef):
+                return None
+            try:
+                qualified = _qualify(expr, all_bindings)
+            except PlanError:
+                return None
+            if qualified.split(".", 1)[0] == right_binding:
+                # The grouping expansion runs on the (monotone) left side
+                # of the final join; right-side keys stay staged.
+                return None
+            key_quals.append(qualified)
+            key_bares.append(expr.name)
+        aggregates: list = []
+        for item in core.items:
+            collect_aggregates(item.expr, aggregates)
+        if any(node.distinct for node in aggregates):
+            # count(distinct ...) consumes row-level key columns.
+            return None
+        refs: list[ColumnRef] = []
+        for node in aggregates:
+            if node.arg is not None:
+                collect_column_refs(node.arg, refs)
+        for predicate in residual:
+            collect_column_refs(predicate, refs)
+        left_gather: list[str] = []
+        right_gather: list[str] = []
+        bare_names: dict[str, str] = {}
+        for ref in refs:
+            try:
+                qualified = _qualify(ref, all_bindings)
+            except PlanError:
+                return None
+            gather = (
+                right_gather
+                if qualified.split(".", 1)[0] == right_binding
+                else left_gather
+            )
+            if qualified not in gather:
+                gather.append(qualified)
+            if ref.table is None:
+                bare_names[ref.name] = qualified
+        colocated = bool(last_step.out_distribution & set(key_quals))
+        return FusedGroupPlan(key_quals, key_bares, left_gather, right_gather,
+                              bare_names, colocated)
 
 
 def _contains_star(expr) -> bool:

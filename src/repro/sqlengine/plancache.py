@@ -41,7 +41,7 @@ import re
 from collections import OrderedDict
 from typing import Optional
 
-from .ast_nodes import Param, Statement
+from .ast_nodes import FuncCall, Param, Statement, TableRef
 from .parser import Parser, parse_statement
 
 #: Matches string literals (kept verbatim) or parameterisable digit runs.
@@ -100,6 +100,18 @@ def _needs_patch(value: object) -> bool:
     return False
 
 
+def _collect_nodes(value: object, node_type: type, into: list) -> None:
+    """Collect every dataclass node of ``node_type`` in an AST subtree."""
+    if isinstance(value, node_type):
+        into.append(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        for field in dataclasses.fields(value):
+            _collect_nodes(getattr(value, field.name), node_type, into)
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            _collect_nodes(item, node_type, into)
+
+
 def _instantiate(template_value: object, params: list[str]) -> object:
     """Rebuild a slot value with the statement's actual parameters."""
     if isinstance(template_value, Param):
@@ -127,16 +139,37 @@ class _Template:
     template (see :mod:`repro.sqlengine.physicalplan`).  It is owned and
     validated by the executor; the cache only provides the slot so a
     template carries its execution strategy alongside its AST.
+
+    The remaining slots serve the database's **subquery result cache**:
+    ``table_nodes`` holds every :class:`~repro.sqlengine.ast_nodes.TableRef`
+    of the template (their patched names are the statement's input tables,
+    whose uid+version pairs fingerprint the cached result), ``params`` the
+    most recent patch (two statements sharing a template differ only in
+    parameters, so a cached result is only valid for its own), ``cacheable``
+    whether the template is free of scalar function calls (a user-defined
+    function may be non-deterministic, so such statements always execute),
+    and ``result`` the cached ``(key, relation, rowcount)`` entry itself.
     """
 
-    __slots__ = ("statement", "slots", "physical")
+    __slots__ = ("statement", "slots", "physical", "table_nodes", "params",
+                 "cacheable", "result")
 
     def __init__(self, statement: Optional[Statement], slots: list):
         self.statement = statement
         self.slots = slots
         self.physical = None
+        self.table_nodes: list = []
+        self.cacheable = False
+        if statement is not None:
+            _collect_nodes(statement, TableRef, self.table_nodes)
+            calls: list = []
+            _collect_nodes(statement, FuncCall, calls)
+            self.cacheable = not calls
+        self.params: tuple = ()
+        self.result: Optional[tuple] = None
 
     def patch(self, params: list[str]) -> Statement:
+        self.params = tuple(params)
         for node, field_name, template_value in self.slots:
             object.__setattr__(
                 node, field_name, _instantiate(template_value, params)

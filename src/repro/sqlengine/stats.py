@@ -54,8 +54,13 @@ class StatsSnapshot:
     physical_plan_misses: int = 0
     physical_plan_invalidations: int = 0
     fused_pipelines: int = 0
+    fused_group_pipelines: int = 0
     group_sorts_skipped: int = 0
     parallel_partitions: int = 0
+    parallel_indexed_probes: int = 0
+    hash_distincts: int = 0
+    subquery_cache_hits: int = 0
+    subquery_cache_misses: int = 0
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated since ``earlier`` (peak is the later peak)."""
@@ -78,10 +83,19 @@ class StatsSnapshot:
             physical_plan_invalidations=self.physical_plan_invalidations
             - earlier.physical_plan_invalidations,
             fused_pipelines=self.fused_pipelines - earlier.fused_pipelines,
+            fused_group_pipelines=self.fused_group_pipelines
+            - earlier.fused_group_pipelines,
             group_sorts_skipped=self.group_sorts_skipped
             - earlier.group_sorts_skipped,
             parallel_partitions=self.parallel_partitions
             - earlier.parallel_partitions,
+            parallel_indexed_probes=self.parallel_indexed_probes
+            - earlier.parallel_indexed_probes,
+            hash_distincts=self.hash_distincts - earlier.hash_distincts,
+            subquery_cache_hits=self.subquery_cache_hits
+            - earlier.subquery_cache_hits,
+            subquery_cache_misses=self.subquery_cache_misses
+            - earlier.subquery_cache_misses,
         )
 
 
@@ -108,8 +122,13 @@ class EngineStats:
         self.physical_plan_misses = 0
         self.physical_plan_invalidations = 0
         self.fused_pipelines = 0
+        self.fused_group_pipelines = 0
         self.group_sorts_skipped = 0
         self.parallel_partitions = 0
+        self.parallel_indexed_probes = 0
+        self.hash_distincts = 0
+        self.subquery_cache_hits = 0
+        self.subquery_cache_misses = 0
         self.log: list[QueryRecord] = []
         # Per-statement scratch counters, folded into a QueryRecord by the
         # database façade around each execute() call.
@@ -195,6 +214,11 @@ class EngineStats:
         materialising the intermediate frame and relation."""
         self.fused_pipelines += 1
 
+    def record_fused_group_pipeline(self) -> None:
+        """A join fed GROUP BY through one fused kernel pass: the aggregate
+        ran directly over the probe stream instead of a materialised frame."""
+        self.fused_group_pipelines += 1
+
     def record_group_sort_skipped(self) -> None:
         """A GROUP BY ran sort-free and gather-free because a cached index
         proved its input pre-sorted on disk."""
@@ -203,6 +227,24 @@ class EngineStats:
     def record_parallel_partitions(self, n_partitions: int) -> None:
         """A kernel executed segment-parallel over this many partitions."""
         self.parallel_partitions += n_partitions
+
+    def record_parallel_indexed_probe(self) -> None:
+        """A join probed a cached sorted index in parallel chunks."""
+        self.parallel_indexed_probes += 1
+
+    def record_hash_distinct(self) -> None:
+        """A DISTINCT ran on the open-addressing hash kernel (no lexsort)."""
+        self.hash_distincts += 1
+
+    def record_subquery_cache_hit(self) -> None:
+        """A statement was served from the subquery/result cache without
+        re-executing (template + input-table versions matched)."""
+        self.subquery_cache_hits += 1
+
+    def record_subquery_cache_miss(self) -> None:
+        """A cacheable statement executed and (re)populated the result
+        cache."""
+        self.subquery_cache_misses += 1
 
     # -- statement bracketing -------------------------------------------------
 
@@ -244,8 +286,13 @@ class EngineStats:
             physical_plan_misses=self.physical_plan_misses,
             physical_plan_invalidations=self.physical_plan_invalidations,
             fused_pipelines=self.fused_pipelines,
+            fused_group_pipelines=self.fused_group_pipelines,
             group_sorts_skipped=self.group_sorts_skipped,
             parallel_partitions=self.parallel_partitions,
+            parallel_indexed_probes=self.parallel_indexed_probes,
+            hash_distincts=self.hash_distincts,
+            subquery_cache_hits=self.subquery_cache_hits,
+            subquery_cache_misses=self.subquery_cache_misses,
         )
 
     def reset_peak(self) -> None:

@@ -13,6 +13,7 @@ pattern this cache targets.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Optional
 
 import numpy as np
@@ -20,6 +21,11 @@ import numpy as np
 from .errors import CatalogError, ExecutionError
 from .operators import KeyIndex, build_key_index
 from .types import TEXT, Column
+
+#: Monotonically increasing table identities.  Unlike ``id()``, a uid is
+#: never reused, so a (uid, version) pair uniquely fingerprints table state
+#: across drops and re-creates — the subquery result cache keys on it.
+_table_uids = itertools.count()
 
 
 class Table:
@@ -50,6 +56,7 @@ class Table:
         self.name = name
         self.columns = dict(columns)
         self.distribution_column = distribution_column
+        self.uid = next(_table_uids)
         self._byte_size: Optional[int] = None
         #: Bumped on every mutation; cached indexes are tagged with the
         #: version they were built against and ignored once it moves on.
@@ -133,7 +140,13 @@ class Table:
 
 
 class Catalog:
-    """Name → table mapping with rename/drop semantics."""
+    """Name → table mapping with rename/drop semantics.
+
+    Lookups are case-insensitive (keys are lower-cased), but a table's
+    ``name`` — the one error messages and :meth:`names` show — keeps the
+    casing it was given.  ``rename`` in particular must not silently
+    lower-case the user-visible name while normalising its lookup key.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
@@ -163,12 +176,13 @@ class Catalog:
         if new.lower() in self._tables:
             raise CatalogError(f"table {new!r} already exists")
         table = self.drop(old)
-        table.name = new.lower()
+        table.name = new
         self._tables[new.lower()] = table
         return table
 
     def names(self) -> list[str]:
-        return sorted(self._tables)
+        """User-visible table names, ordered by their lookup key."""
+        return [self._tables[key].name for key in sorted(self._tables)]
 
     def total_bytes(self) -> int:
         return sum(t.byte_size() for t in self._tables.values())

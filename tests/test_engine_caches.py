@@ -203,6 +203,133 @@ def test_join_pruning_skips_motion(db):
 
 
 # ---------------------------------------------------------------------------
+# subquery result cache
+# ---------------------------------------------------------------------------
+
+
+def _counting_db() -> Database:
+    db = Database(n_segments=4)
+    db.execute("create table t (v int64, w int64)")
+    db.execute("insert into t values (1, 10), (2, 20), (3, 30)")
+    return db
+
+
+def test_result_cache_serves_repeated_scalar_subquery(db):
+    db.execute("create table t (v int64)")
+    db.execute("insert into t values (1), (2), (3)")
+    q = "select count(*) from t"
+    assert db.execute(q).scalar() == 3
+    assert db.stats.subquery_cache_misses == 1
+    assert db.execute(q).scalar() == 3
+    assert db.execute(q).scalar() == 3
+    assert db.stats.subquery_cache_hits == 2
+    assert db.stats.subquery_cache_misses == 1
+    # Each served statement still counts as a query (the paper counts SQL
+    # statements, not executions).
+    assert db.stats.queries >= 5
+
+
+def test_result_cache_invalidated_by_append():
+    db = _counting_db()
+    q = "select count(*) from t"
+    assert db.execute(q).scalar() == 3
+    assert db.execute(q).scalar() == 3
+    assert db.stats.subquery_cache_hits == 1
+    db.execute("insert into t values (4, 40)")  # version bump
+    assert db.execute(q).scalar() == 4
+    assert db.stats.subquery_cache_hits == 1
+    assert db.stats.subquery_cache_misses == 2
+
+
+def test_result_cache_invalidated_by_truncate():
+    db = _counting_db()
+    q = "select count(*) from t"
+    assert db.execute(q).scalar() == 3
+    db.execute("truncate table t")
+    assert db.execute(q).scalar() == 0
+
+
+def test_result_cache_invalidated_by_drop_and_recreate():
+    db = _counting_db()
+    q = "select count(*) from t"
+    assert db.execute(q).scalar() == 3
+    db.execute("drop table t")
+    db.execute("create table t (v int64, w int64)")
+    db.execute("insert into t values (9, 90)")
+    # Same name, same schema, same version number (0 on both) — only the
+    # table uid distinguishes them; the stale result must not be served.
+    assert db.execute(q).scalar() == 1
+
+
+def test_result_cache_invalidated_by_rename():
+    from repro.sqlengine.errors import CatalogError
+
+    db = _counting_db()
+    q = "select count(*) from t"
+    assert db.execute(q).scalar() == 3
+    db.execute("alter table t rename to u")
+    with pytest.raises(CatalogError):
+        db.execute(q)  # the cached result must not mask the missing table
+    # Renaming back restores the very same table state: serving the cached
+    # result is correct (uid and version both still match).
+    db.execute("alter table u rename to t")
+    assert db.execute(q).scalar() == 3
+    assert db.stats.subquery_cache_hits == 1
+
+
+def test_result_cache_skips_udf_statements(db):
+    """A statement with a scalar function call may be non-deterministic
+    (user-defined); it must always execute."""
+    calls = []
+
+    def impulse(v):
+        calls.append(1)
+        return v * 0 + len(calls)
+
+    db.create_function("impulse", impulse)
+    db.execute("create table t (v int64)")
+    db.execute("insert into t values (7)")
+    q = "select impulse(v) x from t"
+    assert db.execute(q).scalar() == 1
+    assert db.execute(q).scalar() == 2  # executed again, not served
+    assert db.stats.subquery_cache_hits == 0
+    assert db.stats.subquery_cache_misses == 0
+
+
+def test_result_cache_keys_on_parameters(db):
+    db.execute("create table t (v int64)")
+    db.execute("insert into t values (1), (2), (3)")
+    # Same template, different parameter: must not cross-serve.
+    assert db.execute("select count(*) c from t where v != 1").scalar() == 2
+    assert db.execute("select count(*) c from t where v != 2").scalar() == 2
+    assert db.execute("select count(*) c from t where v != 1").scalar() == 2
+    assert db.stats.subquery_cache_hits == 0  # one entry per template
+
+
+def test_result_cache_skips_large_results(db):
+    from repro.sqlengine.database import RESULT_CACHE_MAX_ROWS
+
+    n = RESULT_CACHE_MAX_ROWS + 1
+    db.load_table("big", {"v": np.arange(n, dtype=np.int64)})
+    q = "select v from big"
+    assert len(db.execute(q).rows()) == n
+    assert len(db.execute(q).rows()) == n
+    assert db.stats.subquery_cache_hits == 0
+    assert db.stats.subquery_cache_misses == 0
+
+
+def test_result_cache_can_be_disabled():
+    db = Database(n_segments=4, use_result_cache=False)
+    db.execute("create table t (v int64)")
+    db.execute("insert into t values (5)")
+    q = "select count(*) from t"
+    assert db.execute(q).scalar() == 1
+    assert db.execute(q).scalar() == 1
+    assert db.stats.subquery_cache_hits == 0
+    assert db.stats.subquery_cache_misses == 0
+
+
+# ---------------------------------------------------------------------------
 # integration: Randomised Contraction end-to-end
 # ---------------------------------------------------------------------------
 

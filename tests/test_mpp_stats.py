@@ -176,6 +176,58 @@ def test_snapshot_delta():
     assert delta.bytes_written == db.table("b").byte_size()
 
 
+def test_database_close_is_idempotent_and_execute_after_close_works():
+    """Pins the ``close()`` contract: double-close is a no-op, and the pool
+    genuinely re-creates its worker threads on the next parallel kernel."""
+    import repro.sqlengine.executor as executor_module
+    from repro.sqlengine.mpp import SegmentPool
+
+    db = Database(n_segments=4, parallel=True, use_index_cache=False)
+    rng = np.random.default_rng(1)
+    n = 3000
+    db.load_table("e", {"v1": rng.integers(0, 100, n),
+                        "v2": rng.integers(0, 100, n)})
+    db.load_table("r", {"v": np.arange(100, dtype=np.int64),
+                        "rep": rng.integers(0, 100, 100)})
+    query = "select e.v1, r.rep from e, r where e.v1 = r.v"
+    original = executor_module.PARALLEL_MIN_ROWS
+    executor_module.PARALLEL_MIN_ROWS = 1
+    try:
+        expected = sorted(db.execute(query).rows())
+        assert db.pool._pool is not None  # workers were spawned
+        db.close()
+        assert db.pool._pool is None
+        db.close()  # double-close: no error, still released
+        assert db.pool._pool is None
+        # Execute after close: the parallel kernel must engage again ...
+        partitions_before = db.stats.parallel_partitions
+        assert sorted(db.execute(query).rows()) == expected
+        assert db.stats.parallel_partitions > partitions_before
+        # ... on freshly created worker threads.
+        assert db.pool._pool is not None
+    finally:
+        executor_module.PARALLEL_MIN_ROWS = original
+        db.close()
+    assert db.pool._pool is None
+    # SegmentPool.shutdown is idempotent in isolation too.
+    pool = SegmentPool(2, max_workers=2)
+    pool.map(lambda part: part, [0, 1])
+    pool.shutdown()
+    pool.shutdown()
+    assert pool.map(lambda part: part + 1, [0, 1]) == [1, 2]
+    pool.shutdown()
+
+
+def test_close_with_parallel_disabled_is_safe():
+    db = Database(n_segments=2, parallel=False)
+    assert db.pool is None
+    db.close()
+    db.close()
+    db.execute("create table t (v int64)")
+    db.execute("insert into t values (1)")
+    assert db.execute("select count(*) from t").scalar() == 1
+
+
 def test_rows_written_counts_inserts():
     db = Database()
     db.execute("create table t (a int)")

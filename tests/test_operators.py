@@ -12,6 +12,8 @@ from hypothesis import given, strategies as st
 
 from repro.sqlengine.operators import (
     NO_MATCH,
+    _hash_distinct_int,
+    _pack_int_pair,
     build_key_index,
     distinct_rows,
     group_rows,
@@ -225,12 +227,17 @@ def test_join_ignores_index_when_nulls_were_filtered():
     assert sorted(zip(l_idx.tolist(), r_idx.tolist())) == [(1, 1), (2, 2)]
 
 
+def reference_distinct(columns):
+    """The retained sort-based reference: first row of each lexsort group,
+    in ascending row order (the kernels' documented output order)."""
+    order, starts = sorted_group_rows(columns)
+    return np.sort(order[starts]) if order.size else order
+
+
 @given(any_keys)
 def test_distinct_agrees_with_reference(keys):
     column = int_column(keys)
-    expected_order, expected_starts = sorted_group_rows([column])
-    expected = expected_order[expected_starts] if expected_order.size else \
-        expected_order
+    expected = reference_distinct([column])
     got = distinct_rows([column])
     assert np.array_equal(got, expected)
 
@@ -253,10 +260,52 @@ def test_distinct_text_fallback():
 def test_multi_column_distinct_agrees_with_reference(a_keys, b_keys):
     n = min(len(a_keys), len(b_keys))
     a, b = int_column(a_keys[:n]), int_column(b_keys[:n])
-    expected_order, expected_starts = sorted_group_rows([a, b])
-    expected = expected_order[expected_starts] if expected_order.size else \
-        expected_order
-    assert np.array_equal(distinct_rows([a, b]), expected)
+    assert np.array_equal(distinct_rows([a, b]), reference_distinct([a, b]))
+
+
+@given(sparse_keys, sparse_keys)
+def test_unpackable_pair_distinct_uses_hash_kernel(a_keys, b_keys):
+    """Two full-range sparse columns defeat pair packing; the hash kernel
+    must still match the lexsort reference exactly."""
+    n = min(len(a_keys), len(b_keys))
+    a, b = int_column(a_keys[:n]), int_column(b_keys[:n])
+    note: list = []
+    got = distinct_rows([a, b], note=note)
+    assert np.array_equal(got, reference_distinct([a, b]))
+    if n and _pack_int_pair(a.values, b.values) is None:
+        assert note == ["hash"]
+
+
+@given(dense_keys, dense_keys, dense_keys)
+def test_three_column_distinct_agrees_with_reference(a_keys, b_keys, c_keys):
+    n = min(len(a_keys), len(b_keys), len(c_keys))
+    columns = [int_column(k[:n]) for k in (a_keys, b_keys, c_keys)]
+    note: list = []
+    got = distinct_rows(columns, note=note)
+    assert np.array_equal(got, reference_distinct(columns))
+    if n:
+        assert note == ["hash"]
+
+
+@given(any_keys)
+def test_hash_distinct_kernel_agrees_on_single_column(keys):
+    """The hash kernel itself (bypassing dispatch) on one column."""
+    if not keys:
+        return
+    values = np.asarray(keys, dtype=np.int64)
+    got = _hash_distinct_int([values])
+    assert np.array_equal(got, reference_distinct([int_column(keys)]))
+
+
+def test_hash_distinct_duplicate_heavy_and_negative_keys():
+    rng = np.random.default_rng(7)
+    base = rng.integers(-(2 ** 62), 2 ** 62, 50)
+    a = base[rng.integers(0, 50, 5000)]
+    b = base[rng.integers(0, 50, 5000)]
+    got = _hash_distinct_int([a, b])
+    assert np.array_equal(
+        got, reference_distinct([int_column(a), int_column(b)])
+    )
 
 
 @given(any_keys)

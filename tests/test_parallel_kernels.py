@@ -15,13 +15,19 @@ from hypothesis import given, settings, strategies as st
 
 from repro.sqlengine import Database
 from repro.sqlengine.mpp import SegmentPool, partition_rows
-from repro.sqlengine.operators import join_indices, left_join_indices
+from repro.sqlengine.operators import (
+    build_key_index,
+    join_indices,
+    left_join_indices,
+)
 from repro.sqlengine.parallel import (
     AggregateSpec,
     group_aggregate,
     parallel_group_aggregate,
     parallel_join_indices,
     parallel_left_join_indices,
+    parallel_left_probe_indexed,
+    parallel_probe_indexed,
 )
 from repro.sqlengine.types import FLOAT64, INT64, Column
 
@@ -90,6 +96,105 @@ def test_parallel_join_falls_back_on_unsupported_shapes():
     parallel = parallel_join_indices([masked], [plain], POOL)
     assert np.array_equal(reference[0], parallel[0])
     assert np.array_equal(reference[1], parallel[1])
+
+
+@given(keys, keys)
+def test_parallel_indexed_probe_bit_identical(left, right):
+    left_col, right_col = int_column(left), int_column(right)
+    index = build_key_index(right_col.values)
+    reference = join_indices([left_col], [right_col], right_index=index)
+    parallel = parallel_probe_indexed([left_col], [right_col], index, POOL)
+    assert np.array_equal(reference[0], parallel[0])
+    assert np.array_equal(reference[1], parallel[1])
+
+
+@given(keys, keys)
+def test_parallel_indexed_left_probe_bit_identical(left, right):
+    if not left:
+        left = [0]
+    left_col, right_col = int_column(left), int_column(right)
+    index = build_key_index(right_col.values)
+    reference = left_join_indices([left_col], [right_col], right_index=index)
+    parallel = parallel_left_probe_indexed([left_col], [right_col], index,
+                                           POOL)
+    assert np.array_equal(reference[0], parallel[0])
+    assert np.array_equal(reference[1], parallel[1])
+
+
+@pytest.mark.parametrize("n_segments", [1, 2, 3, 4, 7])
+@pytest.mark.parametrize("unique_build", [True, False])
+def test_parallel_indexed_probe_large_sparse(n_segments, unique_build):
+    """Sparse 64-bit build keys force the sorted-index probe (the warm-loop
+    shape); chunked output must match the single-threaded probe exactly."""
+    pool = SegmentPool(n_segments, max_workers=4)
+    rng = np.random.default_rng(10 * n_segments + unique_build)
+    build = rng.permutation(2 ** 62 // 7 * np.arange(1, 5001))
+    if not unique_build:
+        build = np.concatenate([build, build[:500]])
+    probe = np.concatenate([
+        build[rng.integers(0, build.shape[0], 20_000)],
+        rng.integers(0, 2 ** 62, 2_000),  # misses
+    ])
+    left_col, right_col = int_column(probe), int_column(build)
+    index = build_key_index(right_col.values)
+    assert index.is_unique == unique_build
+    note: list = []
+    reference = join_indices([left_col], [right_col], right_index=index)
+    parallel = parallel_probe_indexed([left_col], [right_col], index, pool,
+                                      note)
+    assert note[-1] in ("parallel-probe", "parallel-merge-probe")
+    assert np.array_equal(reference[0], parallel[0])
+    assert np.array_equal(reference[1], parallel[1])
+
+
+def test_parallel_indexed_probe_falls_back_on_dense_build():
+    """Dense build-side spans keep the O(n) direct-address kernel."""
+    rng = np.random.default_rng(3)
+    build = rng.permutation(5000)
+    probe = rng.integers(0, 5000, 20_000)
+    left_col, right_col = int_column(probe), int_column(build)
+    index = build_key_index(right_col.values)
+    note: list = []
+    parallel = parallel_probe_indexed([left_col], [right_col], index, POOL,
+                                      note)
+    assert note[-1] == "dense"
+    reference = join_indices([left_col], [right_col], right_index=index)
+    assert np.array_equal(reference[0], parallel[0])
+    assert np.array_equal(reference[1], parallel[1])
+
+
+def test_executor_engages_parallel_indexed_probe(monkeypatch):
+    """The warm-loop case: a cached build-side index no longer disables
+    parallel execution — the probe chunks across the pool."""
+    import repro.sqlengine.executor as executor_module
+
+    monkeypatch.setattr(executor_module, "PARALLEL_MIN_ROWS", 1)
+    rng = np.random.default_rng(21)
+    n = 4000
+    # Sparse unique representatives: span far beyond the dense-kernel cap,
+    # so the single-threaded dispatch would take the sorted-index probe.
+    reps = rng.permutation(np.arange(200) * (2 ** 53 + 12345))
+    v1 = reps[rng.integers(0, 200, n)]
+    v2 = rng.integers(0, 200, n)
+
+    def build(parallel):
+        db = Database(n_segments=4, parallel=parallel)
+        db.load_table("e", {"v1": v1, "v2": v2})
+        db.load_table("r", {"v": np.arange(200, dtype=np.int64),
+                            "rep": reps})
+        # Warm the index on the build side, as the round loop's first join
+        # does, then re-join: the indexed path must go parallel.
+        db.execute("select r.rep, count(*) c from r group by r.rep")
+        return db
+
+    query = "select e.v1, r.v from e, r where e.v1 = r.rep"
+    on, off = build(True), build(False)
+    rows_on = on.execute(query).rows()
+    rows_off = off.execute(query).rows()
+    assert rows_on == rows_off
+    assert on.stats.parallel_indexed_probes > 0
+    assert on.stats.index_cache_hits > 0
+    assert off.stats.parallel_indexed_probes == 0
 
 
 def test_partition_rows_covers_everything_once():

@@ -54,7 +54,10 @@ def test_physical_plan_counts_only_planned_statements(db):
     assert db.stats.physical_plan_misses == 1
 
 
-def test_physical_plan_invalidated_by_schema_change(db):
+def test_physical_plan_invalidated_by_schema_change():
+    # Result cache off: this test repeats one *identical* statement, which
+    # the result cache would otherwise serve without touching the planner.
+    db = Database(n_segments=4, use_result_cache=False)
     db.execute("create table s (k int64, w int64)")
     db.execute("insert into s values (1, 10), (2, 20)")
     query = "select s.w from s where s.k = 1"
@@ -69,7 +72,8 @@ def test_physical_plan_invalidated_by_schema_change(db):
     assert db.stats.physical_plan_invalidations == 1
 
 
-def test_physical_plan_invalidated_by_distribution_change(db):
+def test_physical_plan_invalidated_by_distribution_change():
+    db = Database(n_segments=4, use_result_cache=False)
     db.execute("create table a (v int64)")
     db.execute("insert into a values (1), (2)")
     db.execute("create table b1 as select v from a distributed by (v)")
@@ -85,7 +89,7 @@ def test_physical_plan_invalidated_by_distribution_change(db):
 
 
 def test_physical_plans_can_be_disabled():
-    db = Database(use_physical_plans=False)
+    db = Database(use_physical_plans=False, use_result_cache=False)
     db.execute("create table t (v int64)")
     db.execute("insert into t values (3)")
     assert db.execute("select v from t").scalar() == 3
@@ -259,6 +263,116 @@ def test_fused_distinct_matches_materialising_pipeline(query):
     assert fused_db.stats.motion_bytes == plain_db.stats.motion_bytes
 
 
+FUSABLE_GROUP_QUERIES = [
+    # The table-strategy round's neigh-min shape: join -> GROUP BY on a
+    # left-side key, aggregate over a right-side column.
+    "select graph2.v1 as v, min(r2.rep) as hmin from graph2, reps as r2 "
+    "where graph2.v2 = r2.v group by graph2.v1",
+    "select v1, count(*) c, sum(r2.v) s, avg(r2.v) a, max(r2.rep) hi "
+    "from graph2, reps as r2 where graph2.v2 = r2.v group by v1",
+    # Residual filter between the join and the aggregate.
+    "select v1, min(r2.rep) m from graph2, reps as r2 "
+    "where graph2.v2 = r2.v and v1 != r2.rep group by v1",
+    # Multi-column left-side keys.
+    "select v1, v2, count(*) c from graph2, reps as r2 "
+    "where graph2.v2 = r2.v group by v1, v2",
+    # Key also consumed as an aggregate argument.
+    "select v1, sum(v1) s, min(r2.rep) m from graph2, reps as r2 "
+    "where graph2.v2 = r2.v group by v1",
+    # Expression over key and aggregate in one select item.
+    "select v1 v, v1 + min(r2.rep) x from graph2, reps as r2 "
+    "where graph2.v2 = r2.v group by v1",
+]
+
+
+@pytest.mark.parametrize("query", FUSABLE_GROUP_QUERIES)
+def test_fused_group_by_matches_materialising_pipeline(query):
+    fused_db = _two_table_db(use_fusion=True)
+    plain_db = _two_table_db(use_fusion=False)
+    fused = fused_db.execute(query)
+    plain = plain_db.execute(query)
+    assert fused.names == plain.names
+    assert fused.relation.display_names == plain.relation.display_names
+    assert fused.rows() == plain.rows()  # bit-identical, including order
+    assert fused_db.stats.fused_group_pipelines > 0
+    assert plain_db.stats.fused_group_pipelines == 0
+
+
+NOT_FUSABLE_GROUP_QUERIES = [
+    # Right-side group key: the probe-stream expansion does not apply.
+    "select r2.v, count(*) c from graph2, reps as r2 "
+    "where graph2.v2 = r2.v group by r2.v",
+    # count(distinct) needs row-level key columns.
+    "select v1, count(distinct r2.rep) c from graph2, reps as r2 "
+    "where graph2.v2 = r2.v group by v1",
+]
+
+
+@pytest.mark.parametrize("query", NOT_FUSABLE_GROUP_QUERIES)
+def test_unfusable_group_shapes_stay_staged_and_correct(query):
+    fused_db = _two_table_db(use_fusion=True)
+    plain_db = _two_table_db(use_fusion=False)
+    assert fused_db.execute(query).rows() == plain_db.execute(query).rows()
+    assert fused_db.stats.fused_group_pipelines == 0
+
+
+def test_fused_group_by_with_nulls_in_aggregate_argument():
+    def build(use_fusion):
+        db = Database(n_segments=4, use_fusion=use_fusion)
+        db.execute("create table e (v1 int64, v2 int64)")
+        db.execute("insert into e values (1, 10), (1, 11), (2, 10), (3, 12)")
+        db.execute("create table w (v int64, x int64)")
+        db.execute("insert into w values (10, null), (11, 5), (12, null)")
+        return db
+
+    q = ("select e.v1, count(x) c, sum(w.x) s, min(w.x) lo "
+         "from e, w where e.v2 = w.v group by e.v1")
+    fused, plain = build(True), build(False)
+    assert fused.execute(q).rows() == plain.execute(q).rows()
+    assert fused.stats.fused_group_pipelines == 1
+
+
+def test_fused_group_by_empty_sides():
+    def build(use_fusion):
+        db = Database(n_segments=4, use_fusion=use_fusion)
+        db.execute("create table e (v1 int64, v2 int64)")
+        db.execute("create table w (v int64, x int64)")
+        return db
+
+    q = ("select e.v1, count(*) c, min(w.x) lo from e, w "
+         "where e.v2 = w.v group by e.v1")
+    fused, plain = build(True), build(False)
+    # Both sides empty.
+    assert fused.execute(q).rows() == plain.execute(q).rows() == []
+    # Probe side populated, build side empty (and vice versa).
+    for db in (fused, plain):
+        db.execute("insert into e values (1, 10), (2, 11)")
+    assert fused.execute(q).rows() == plain.execute(q).rows() == []
+    for db in (fused, plain):
+        db.execute("truncate table e")
+        db.execute("insert into w values (10, 7)")
+    assert fused.execute(q).rows() == plain.execute(q).rows() == []
+    assert fused.stats.fused_group_pipelines == 3
+
+
+def test_fused_group_by_uses_left_side_index(db):
+    """The fused path recovers the left scan's index-cache provenance that
+    the staged pipeline loses when it materialises the join."""
+    rng = np.random.default_rng(9)
+    n = 3000
+    db.load_table("e", {"v1": rng.integers(0, 2 ** 61, n),
+                        "v2": rng.integers(0, 100, n)})
+    db.load_table("r", {"v": np.arange(100, dtype=np.int64),
+                        "h": rng.permutation(100)})
+    q = ("select e.v1, min(r.h) m from e, r where e.v2 = r.v "
+         "group by e.v1")
+    db.execute(q)  # builds (and caches) the index over e.v1
+    hits_before = db.stats.index_cache_hits
+    db.execute(q)
+    assert db.stats.index_cache_hits > hits_before
+    assert db.stats.fused_group_pipelines == 2
+
+
 def test_fusion_preserves_create_table_as(db):
     rng = np.random.default_rng(3)
     db.load_table("e", {"a": rng.integers(0, 40, 900),
@@ -393,3 +507,44 @@ def test_rc_physical_plan_hit_rate_and_identical_labels():
     assert stats_on.physical_plan_invalidations == 0
     planned = stats_on.physical_plan_hits + stats_on.physical_plan_misses
     assert stats_on.physical_plan_hits / planned > 0.5  # cold-start run
+
+
+def test_rc_random_reals_round_loop_fuses_join_group_by():
+    """The table-strategy round's neigh-min statement is a join->GROUP BY;
+    it must run fused, with labels identical to the staged pipeline."""
+    from repro.core import RandomisedContraction
+    from repro.graphs import gnm_random_graph
+    from repro.graphs.io import load_edges_into
+
+    edges = gnm_random_graph(400, 700, np.random.default_rng(31))
+
+    def run(use_fusion):
+        db = Database(n_segments=4, use_fusion=use_fusion)
+        load_edges_into(db, "edges", edges)
+        rc = RandomisedContraction(method="random-reals",
+                                   variant="deterministic-space")
+        result = rc.run(db, "edges", seed=5)
+        vertices, labels = result.labels(db)
+        order = np.argsort(vertices, kind="stable")
+        return vertices[order], labels[order], db.stats
+
+    v_on, l_on, stats_on = run(True)
+    v_off, l_off, stats_off = run(False)
+    assert np.array_equal(v_on, v_off)
+    assert np.array_equal(l_on, l_off)
+    assert stats_on.fused_group_pipelines > 0
+    assert stats_off.fused_group_pipelines == 0
+
+
+def test_rc_fast_variant_round_loop_uses_hash_distinct():
+    """The fast variant's contract DISTINCT pairs 64-bit field values whose
+    spans defeat pair packing — the hash kernel must engage on the loop."""
+    from repro.core import RandomisedContraction
+    from repro.graphs import gnm_random_graph
+    from repro.graphs.io import load_edges_into
+
+    edges = gnm_random_graph(400, 700, np.random.default_rng(33))
+    db = Database(n_segments=4)
+    load_edges_into(db, "edges", edges)
+    RandomisedContraction().run(db, "edges", seed=5)
+    assert db.stats.hash_distincts > 0

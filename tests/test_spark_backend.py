@@ -15,6 +15,31 @@ from repro.sqlengine.types import Column
 from .conftest import edge_lists
 
 
+def test_spark_join_group_by_matches_mpp_above_task_threshold():
+    """Regression: the Spark model's partitioned join emits partition-major
+    (non-monotone) left indices, so the fused join->GROUP BY expansion must
+    not run on it — it silently mislabelled groups before the
+    ``monotone_join_output`` gate existed."""
+    from repro.graphs import load_edges_into
+
+    rng = np.random.default_rng(8)
+    n = 3000  # far above n_tasks * 4, so the partitioned join kernel engages
+    groups = rng.integers(0, 40, n)
+    keys = rng.integers(0, 500, n)
+    weights = rng.integers(0, 99, 500)
+    mpp = Database()
+    spark = SparkSQLDatabase()
+    for db in (mpp, spark):
+        db.load_table("t", {"g": groups, "k": keys})
+        db.load_table("u", {"k": np.arange(500, dtype=np.int64),
+                            "b": weights})
+    q = ("select t.g, count(*) c, sum(u.b) s, min(u.b) lo "
+         "from t, u where t.k = u.k group by t.g")
+    assert sorted(mpp.execute(q).rows()) == sorted(spark.execute(q).rows())
+    assert mpp.stats.fused_group_pipelines == 1
+    assert spark.stats.fused_group_pipelines == 0  # staged fallback
+
+
 def test_same_sql_same_answers():
     sql = """
         create table doubled as

@@ -112,6 +112,27 @@ def test_catalog_roundtrip():
         catalog.get("u")
 
 
+def test_catalog_rename_preserves_name_case():
+    """Regression: rename used to lower-case the user-visible table name.
+
+    Lookup keys are normalised, but the name shown by ``names()`` and used
+    in error messages must keep the casing the caller supplied."""
+    catalog = Catalog()
+    catalog.put(Table("t", {"a": Column.from_values(np.array([1]))}))
+    table = catalog.rename("t", "MixedCase")
+    assert table.name == "MixedCase"
+    assert catalog.names() == ["MixedCase"]
+    # Lookups stay case-insensitive either way.
+    assert catalog.get("mixedcase") is table
+    assert catalog.get("MIXEDCASE") is table
+    assert "mixedCASE" in catalog
+    # The preserved-case name surfaces in error messages.
+    with pytest.raises(CatalogError, match="'MixedCase'"):
+        table.column("ghost")
+    catalog.rename("MIXEDcase", "BackAgain")
+    assert catalog.names() == ["BackAgain"]
+
+
 def test_catalog_rejects_duplicates_and_missing():
     catalog = Catalog()
     catalog.put(Table("t", {"a": Column.from_values(np.array([1]))}))
