@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-unit bench bench-quick bench-engine bench-compare clean
+.PHONY: test test-unit fuzz bench bench-quick bench-engine bench-compare clean
 
 ## tier-1: the full unit + benchmark collection, fail-fast
 test:
@@ -13,6 +13,10 @@ test:
 ## unit tests only — no timing-threshold benchmarks, safe for noisy CI runners
 test-unit:
 	$(PYTHON) -m pytest -x -q tests/
+
+## differential fuzz harness (REPRO_FUZZ_ROUNDS / REPRO_FUZZ_SEED env knobs)
+fuzz:
+	$(PYTHON) -m pytest -q tests/test_differential_fuzz.py
 
 ## the complete paper-reproduction benchmark grid (Tables III-V, figures)
 bench:

@@ -215,8 +215,50 @@ def test_engine_microbench():
     report["physical_plan"]["rc_fused_group_pipelines"] = \
         rr_db.stats.fused_group_pipelines
     assert rr_db.stats.fused_group_pipelines > 0
+    # The deterministic-space contract is a three-table chain (e ⋈ r ⋈ r):
+    # its first join must stream into the fused final DISTINCT without
+    # materialising, on the warm round loop.
+    report["physical_plan"]["rc_join_chain_fusions"] = \
+        rr_db.stats.join_chain_fusions
+    assert rr_db.stats.join_chain_fusions > 0
     rr_db.close()
+    # Dense vertex ids + a warm build-side index + a multi-worker pool:
+    # the direct-address probe must chunk across the pool instead of
+    # falling back single-threaded (the fourth closed bottleneck).
+    dense_db = Database(n_segments=4, parallel=True)
+    load_edges_into(dense_db, "edges_dense", measured_edges)
+    RandomisedContraction().run(dense_db, "edges_dense", seed=99)
+    report["physical_plan"]["rc_parallel_dense_probes"] = \
+        dense_db.stats.parallel_dense_probes
+    assert dense_db.stats.parallel_dense_probes > 0
+    dense_db.close()
     pp_db.close()
+
+    # -- overlapped composition: round i composes while round i+1 contracts
+    def run_overlap(parallel: bool):
+        odb = Database(n_segments=4, parallel=parallel)
+        load_edges_into(odb, "edges_ov", warm_edges)
+        started = time.perf_counter()
+        result = RandomisedContraction(variant="deterministic-space").run(
+            odb, "edges_ov", seed=31)
+        elapsed = time.perf_counter() - started
+        vertices, labels = result.labels(odb)
+        order = np.argsort(vertices, kind="stable")
+        stats = odb.stats.snapshot()
+        odb.close()
+        return elapsed, vertices[order], labels[order], stats
+
+    t_overlap, v_ov, l_ov, stats_ov = run_overlap(True)
+    t_serial, v_se, l_se, stats_se = run_overlap(False)
+    assert np.array_equal(v_ov, v_se) and np.array_equal(l_ov, l_se)
+    assert stats_ov.overlapped_compositions > 0
+    assert stats_se.overlapped_compositions == 0
+    report["overlapped_composition"] = {
+        "rounds_overlapped": stats_ov.overlapped_compositions,
+        "serial_s": t_serial,
+        "overlapped_s": t_overlap,
+        "speedup": t_serial / t_overlap,
+    }
 
     # -- fusion: join -> DISTINCT vs the materialising pipeline -----------
     # Two shapes at 1e6 rows: the paper's narrow contract query (two
@@ -302,6 +344,38 @@ def test_engine_microbench():
     wide_group = report["fused_group_by"]["wide"]
     assert wide_group["fused_s"] <= wide_group["materialising_s"] * 0.95
 
+    # -- join-chain fusion: the contract chain (e ⋈ r ⋈ r -> DISTINCT) -----
+    # The first join feeds the final join's probe side; the chained plan
+    # composes row maps instead of materialising the intermediate (which
+    # in the wide shape carries the payload columns at ~1e6 rows).
+    chain_query = ("select distinct rv.rep as v1, rw.rep as v2 "
+                   "from graph2, reps as rv, reps as rw "
+                   "where graph2.v1 = rv.v and graph2.v2 = rw.v "
+                   "and rv.rep != rw.rep")
+    report["join_chain"] = {"rows": n_fuse}
+    for shape, payload in (("contract", 0), ("wide", 4)):
+        chain_db = fusion_db(True, payload)
+        plain_db = fusion_db(False, payload)
+        chained_rel = chain_db.execute(chain_query).relation
+        plain_rel = plain_db.execute(chain_query).relation
+        for name_f, name_p in zip(chained_rel.names, plain_rel.names):
+            assert np.array_equal(chained_rel.column(name_f).values,
+                                  plain_rel.column(name_p).values)
+        t_chained = best_of(lambda: chain_db.execute(chain_query))
+        t_materialised = best_of(lambda: plain_db.execute(chain_query))
+        assert chain_db.stats.join_chain_fusions > 0
+        assert plain_db.stats.join_chain_fusions == 0
+        report["join_chain"][shape] = {
+            "materialising_s": t_materialised,
+            "chained_s": t_chained,
+            "speedup": t_materialised / t_chained,
+        }
+        chain_db.close()
+        plain_db.close()
+        del chain_db, plain_db
+    wide_chain = report["join_chain"]["wide"]
+    assert wide_chain["chained_s"] <= wide_chain["materialising_s"] * 0.95
+
     # -- hash DISTINCT: unpackable sparse pairs vs the lexsort reference ---
     # Two full-range 64-bit key columns defeat the int-pair packing, which
     # used to mean a lexsort over every row; the hash kernel touches each
@@ -350,6 +424,25 @@ def test_engine_microbench():
     }
     assert cache_db.stats.subquery_cache_hits == n_repeats
     assert t_cache_warm < t_cache_cold
+    # Alternating parameter sets — the shape that thrashed the old
+    # one-entry-per-template slot — must now sustain a >= 0.9 hit rate on
+    # the multi-entry LRU (one cold miss per parameterisation, hits after).
+    alt_before = cache_db.stats.snapshot()
+    alt_queries = ["select count(*) c from big where v < 200",
+                   "select count(*) c from big where v < 600",
+                   "select count(*) c from big where v < 900"]
+    n_alt_rounds = 20
+    for _ in range(n_alt_rounds):
+        for alt_query in alt_queries:
+            cache_db.execute(alt_query)
+    alt = cache_db.stats.snapshot().delta(alt_before)
+    alt_rate = alt.subquery_cache_hits / max(
+        alt.subquery_cache_hits + alt.subquery_cache_misses, 1)
+    report["result_cache"]["alternating_hit_rate"] = alt_rate
+    report["result_cache"]["alternating_evictions"] = \
+        alt.subquery_cache_evictions
+    assert alt_rate >= 0.9
+    assert alt.subquery_cache_evictions == 0
     cache_db.close()
 
     # -- segment-parallel kernels vs single-threaded references -----------
@@ -500,10 +593,12 @@ def test_engine_microbench():
     pp = report["physical_plan"]
     fused = report["fused_distinct"]
     fused_g = report["fused_group_by"]
+    chain = report["join_chain"]
     hashed = report["hash_distinct"]
     rcache = report["result_cache"]
     par = report["parallel"]
     skip = report["group_sort_skip"]
+    overlap = report["overlapped_composition"]
     lines += [
         "",
         f"  plan cache hit rate      : {report['plan_cache']['hit_rate']:.3f}"
@@ -513,7 +608,12 @@ def test_engine_microbench():
         f" statements; cold run {pp['cold_hit_rate']:.3f})",
         f"  warm-loop kernel proofs  : {pp['rc_hash_distincts']} hash"
         f" DISTINCTs, {pp['rc_parallel_indexed_probes']} parallel indexed"
-        f" probes, {pp['rc_fused_group_pipelines']} fused join->GROUP BYs",
+        f" probes, {pp['rc_parallel_dense_probes']} parallel dense probes,"
+        f" {pp['rc_fused_group_pipelines']} fused join->GROUP BYs,"
+        f" {pp['rc_join_chain_fusions']} join-chain fusions",
+        f"  overlapped composition   : {overlap['rounds_overlapped']} rounds"
+        f" overlapped, {t_serial:.3f}s -> {t_overlap:.3f}s"
+        f" ({overlap['speedup']:.2f}x, identical labels)",
         f"  fused join->DISTINCT 1e6 : wide"
         f" {fused['wide']['materialising_s'] * 1e3:.1f} ms ->"
         f" {fused['wide']['fused_s'] * 1e3:.1f} ms"
@@ -524,6 +624,11 @@ def test_engine_microbench():
         f" {fused_g['wide']['fused_s'] * 1e3:.1f} ms"
         f" ({fused_g['wide']['speedup']:.2f}x); contract shape"
         f" {fused_g['contract']['speedup']:.2f}x",
+        f"  join-chain fusion 1e6    : wide"
+        f" {chain['wide']['materialising_s'] * 1e3:.1f} ms ->"
+        f" {chain['wide']['chained_s'] * 1e3:.1f} ms"
+        f" ({chain['wide']['speedup']:.2f}x); contract shape"
+        f" {chain['contract']['speedup']:.2f}x",
         f"  hash pair-DISTINCT 1e6   : dup-heavy"
         f" {hashed['duplicate_heavy']['lexsort_s'] * 1e3:.1f} ms ->"
         f" {hashed['duplicate_heavy']['hash_s'] * 1e3:.1f} ms"
@@ -531,7 +636,8 @@ def test_engine_microbench():
         f" {hashed['unique_heavy']['speedup']:.2f}x",
         f"  result cache (count(*))  : {rcache['cold_s'] * 1e3:.2f} ms ->"
         f" {rcache['warm_s'] * 1e6:.1f} us"
-        f" ({rcache['hits']} hits)",
+        f" ({rcache['hits']} hits; alternating-params hit rate"
+        f" {rcache['alternating_hit_rate']:.3f})",
         f"  parallel join 1e6        : {par['join_single_s'] * 1e3:.1f} ms ->"
         f" {par['join_parallel_s'] * 1e3:.1f} ms"
         f" ({par['join_speedup']:.2f}x, {par['workers']} workers,"

@@ -11,15 +11,22 @@ are reported as ``new`` / ``removed`` instead of failing the comparison.
 
 Exit codes are deterministic so CI can stay informational on them:
 
-* ``0`` — every metric exists on both sides (values may still differ);
+* ``0`` — every metric exists on both sides with comparable values;
 * ``2`` — an input file is missing or not valid JSON;
-* ``3`` — schema drift: new and/or removed metrics were reported (commit a
-  refreshed baseline from ``benchmarks/results/`` when this is intended).
+* ``3`` — schema drift: new, removed and/or NaN metrics were reported
+  (commit a refreshed baseline from ``benchmarks/results/`` when this is
+  intended).
+
+A metric that is present but NaN on either side is **drift**, not
+alignment: NaN means the benchmark recorded a division by zero or a
+skipped measurement, and ``NaN == NaN`` comparisons would otherwise let a
+silently broken metric pass every future comparison.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -57,7 +64,7 @@ def main(argv: list[str]) -> int:
     if baseline is None or fresh is None:
         return 2
     width = max((len(k) for k in baseline | fresh), default=10)
-    new_keys = removed_keys = 0
+    new_keys = removed_keys = nan_keys = 0
     print(f"{'metric':<{width}}  {'baseline':>12}  {'fresh':>12}  {'delta':>8}")
     for key in sorted(baseline | fresh):
         old = baseline.get(key)
@@ -68,6 +75,10 @@ def main(argv: list[str]) -> int:
         elif new is None:
             removed_keys += 1
             print(f"{key:<{width}}  {old:>12.6g}  {'-':>12}  {'removed':>8}")
+        elif math.isnan(old) or math.isnan(new):
+            # Present-but-NaN is a broken measurement, not an aligned one.
+            nan_keys += 1
+            print(f"{key:<{width}}  {old:>12.6g}  {new:>12.6g}  {'nan':>8}")
         else:
             if old:
                 delta = f"{(new - old) / abs(old) * 100:+.1f}%"
@@ -76,9 +87,9 @@ def main(argv: list[str]) -> int:
             print(f"{key:<{width}}  {old:>12.6g}  {new:>12.6g}  {delta:>8}")
     print("\nbench-compare is informational; timing metrics are in seconds "
           "(negative delta = faster).")
-    if new_keys or removed_keys:
+    if new_keys or removed_keys or nan_keys:
         print(f"bench-compare: schema drift — {new_keys} new, "
-              f"{removed_keys} removed metric(s); refresh "
+              f"{removed_keys} removed, {nan_keys} NaN metric(s); refresh "
               f"benchmarks/baselines/ if this is intended.")
         return 3
     return 0

@@ -230,13 +230,17 @@ def render_engine_stats(stats) -> str:
         f"{stats.index_cache_misses} misses",
         f"  joins pruned       : {stats.joins_pruned}",
         f"  fused pipelines    : {stats.fused_pipelines} DISTINCT / "
-        f"{stats.fused_group_pipelines} GROUP BY",
+        f"{stats.fused_group_pipelines} GROUP BY / "
+        f"{stats.join_chain_fusions} join chains",
         f"  hash DISTINCTs     : {stats.hash_distincts}",
         f"  group sorts skipped: {stats.group_sorts_skipped}",
         f"  parallel partitions: {stats.parallel_partitions}"
-        f"  (indexed probes {stats.parallel_indexed_probes})",
+        f"  (indexed probes {stats.parallel_indexed_probes}, "
+        f"dense probes {stats.parallel_dense_probes})",
         f"  result cache       : {stats.subquery_cache_hits} hits / "
-        f"{stats.subquery_cache_misses} misses",
+        f"{stats.subquery_cache_misses} misses / "
+        f"{stats.subquery_cache_evictions} evicted",
+        f"  overlapped composes: {stats.overlapped_compositions}",
     ]
     return "\n".join(lines)
 

@@ -185,7 +185,10 @@ class SparkExecutor(Executor):
         # honour the kernel contract (ascending row order).
         candidate = np.concatenate(keep)
         sub = [col.take(candidate) for col in columns]
-        return np.sort(candidate[distinct_rows(sub)])
+        # The finish pass runs the same kernel class as the partitioned
+        # passes; route its note through so kernel telemetry (hash
+        # DISTINCT counting) reflects large inputs too.
+        return np.sort(candidate[distinct_rows(sub, note=note)])
 
 
 class SparkSQLDatabase(Database):

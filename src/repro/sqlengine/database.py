@@ -30,6 +30,10 @@ from .types import INT64, Column
 #: and small lookup relations, not round tables.
 RESULT_CACHE_MAX_ROWS = 128
 RESULT_CACHE_MAX_BYTES = 1 << 16
+#: Entries retained per template (an LRU keyed on parameters + table
+#: fingerprints): alternating parameter sets stay warm side by side
+#: instead of thrashing a single slot.
+RESULT_CACHE_MAX_ENTRIES = 8
 
 
 class ResultSet:
@@ -130,11 +134,12 @@ class Database:
         :mod:`repro.sqlengine.physicalplan`).
 
         Small SELECT results are additionally served from a per-template
-        **result cache** keyed on the statement's parameters plus the
-        uid+version fingerprint of every referenced table: a repeated
-        scalar subquery (``select count(*) from t``) stops re-executing
-        until some input table is appended to, truncated, dropped or
-        renamed away.
+        **result cache**: a small LRU of entries keyed on the statement's
+        parameters plus the uid+version fingerprint of every referenced
+        table, so a repeated scalar subquery (``select count(*) from t``)
+        stops re-executing until some input table is appended to,
+        truncated, dropped or renamed away — and alternating parameter
+        sets stay cached side by side instead of evicting each other.
         """
         entry = None
         if self._plans is not None:
@@ -155,10 +160,10 @@ class Database:
             fingerprint = self._result_fingerprint(entry)
             if fingerprint is not None:
                 result_key = (entry.params, fingerprint)
-                cached = entry.result
-                if cached is not None and cached[0] == result_key:
+                cached = entry.cached_result(result_key)
+                if cached is not None:
                     self.stats.record_subquery_cache_hit()
-                    _, relation, rowcount = cached
+                    relation, rowcount = cached
                     self.stats.begin_statement()
                     self.stats.end_statement(
                         label or type(statement).__name__, sql, rowcount, 0.0
@@ -172,17 +177,23 @@ class Database:
         elapsed = time.perf_counter() - started
         self.stats.end_statement(label or type(statement).__name__, sql, rowcount,
                                  elapsed)
-        if (
-            result_key is not None
-            and entry is not None
-            and relation is not None
-            and relation.n_rows <= RESULT_CACHE_MAX_ROWS
-            and relation.byte_size() <= RESULT_CACHE_MAX_BYTES
-        ):
-            # Relations are immutable snapshots: columns are never written
-            # in place, and any later table mutation moves the fingerprint.
-            entry.result = (result_key, relation, rowcount)
+        if result_key is not None and entry is not None:
+            # Every cacheable statement that executed counts as a miss —
+            # including results the admission gate rejects — so the
+            # hit/(hit+miss) rate reflects actual executions saved.
             self.stats.record_subquery_cache_miss()
+            if (
+                relation is not None
+                and relation.n_rows <= RESULT_CACHE_MAX_ROWS
+                and relation.byte_size() <= RESULT_CACHE_MAX_BYTES
+            ):
+                # Relations are immutable snapshots: columns are never
+                # written in place, and any later table mutation moves the
+                # fingerprint.
+                evicted = entry.store_result(result_key, relation, rowcount,
+                                             RESULT_CACHE_MAX_ENTRIES)
+                for _ in range(evicted):
+                    self.stats.record_subquery_cache_eviction()
         return ResultSet(relation, rowcount)
 
     def _result_fingerprint(self, entry) -> Optional[tuple]:

@@ -35,6 +35,13 @@ cluster's splitmix64 segment assignment and execute partitions on worker
 threads, with output bit-identical to the single-threaded kernels (see
 :mod:`repro.sqlengine.parallel`).
 
+Join pipelines of two or more steps run **chain-fused** (see
+:class:`_JoinChain`): a join feeding another join's build side never
+materialises its output — the executor keeps per-binding row-index maps,
+composes them through each join's output indices, and gathers every
+downstream-consumed column exactly once, whether it is the next join's
+key, a fused DISTINCT/GROUP BY input, or part of the chain-final frame.
+
 MPP accounting happens where a real MPP executor would move data: a join or
 aggregation whose input is not already distributed on its key charges a
 redistribution (or a broadcast for small inputs) to the engine statistics.
@@ -109,6 +116,7 @@ from .physicalplan import (
 from .stats import EngineStats
 from .table import Catalog, Table
 from .types import BOOL, FLOAT64, INT64, Column, dtype_for
+from .types import _FIXED_WIDTH
 
 #: Safety valve: a join step with no usable equality predicate falls back to
 #: a cartesian product only below this many output rows.
@@ -206,6 +214,114 @@ class Frame:
     def filter(self, keep: np.ndarray) -> "Frame":
         columns = {name: col.filter(keep) for name, col in self.columns.items()}
         return Frame(columns, self.bindings, int(keep.sum()), self.distribution)
+
+
+class _ChainColumns:
+    """Lazy qualified-name → :class:`~repro.sqlengine.types.Column` view of a
+    :class:`_JoinChain`: each access gathers that one column through the
+    chain's composed row map."""
+
+    __slots__ = ("_chain",)
+
+    def __init__(self, chain: "_JoinChain"):
+        self._chain = chain
+
+    def __getitem__(self, name: str) -> Column:
+        return self._chain.column(name)
+
+
+class _JoinChain:
+    """A virtual frame over a fused chain of joins.
+
+    Where the staged pipeline materialises every join step's output —
+    gathering each surviving column of both inputs at every step — the
+    chain keeps only a per-binding *row-index map* into the base frames and
+    composes it through each join's output indices (``map ∘ l_idx``, the
+    same monotone-index composition :class:`FusedGroupPlan` exploits).  A
+    column is gathered exactly once, when something downstream finally
+    consumes it: the next join's key, a fused projection, an aggregate
+    argument, or the chain-final materialisation.
+
+    The chain duck-types the ``Frame`` surface the join-step runner reads —
+    ``columns`` (lazy), ``sources``, ``length``, ``distribution`` and
+    ``byte_size()`` — so kernel dispatch, index-cache consultation, range
+    pruning and motion accounting run the exact code the staged pipeline
+    runs.  ``byte_size()`` reports the size the staged pipeline's frame
+    *would* have had (exact for fixed-width columns, including the gathered
+    null mask; text columns are estimated at their base column's mean row
+    width), keeping the motion counters comparable between the two paths.
+    """
+
+    __slots__ = ("_frames", "_maps", "_base", "_staged_cols", "columns",
+                 "length", "distribution", "n_joins")
+
+    def __init__(self, frame: Frame):
+        self._frames: dict[str, Frame] = {b: frame for b in frame.bindings}
+        self._maps: dict[str, Optional[np.ndarray]] = {
+            b: None for b in frame.bindings
+        }
+        self._base = frame
+        self._staged_cols = list(frame.columns)
+        self.columns = _ChainColumns(self)
+        self.length = frame.length
+        self.distribution = frame.distribution
+        self.n_joins = 0
+
+    @property
+    def sources(self) -> dict:
+        """Column provenance: the base frame's while no join ran (a scan's
+        cached indexes stay reachable), empty afterwards — exactly when the
+        staged pipeline's materialised frames lose provenance too."""
+        return self._base.sources if self.n_joins == 0 else {}
+
+    def column(self, qualified: str) -> Column:
+        binding = qualified.split(".", 1)[0]
+        col = self._frames[binding].columns[qualified]
+        row_map = self._maps[binding]
+        return col if row_map is None else col.take(row_map)
+
+    def byte_size(self) -> int:
+        if self.n_joins == 0:
+            return self._base.byte_size()
+        total = 0
+        for qualified in self._staged_cols:
+            binding = qualified.split(".", 1)[0]
+            col = self._frames[binding].columns[qualified]
+            width = _FIXED_WIDTH.get(col.sql_type)
+            if width is None:
+                # Text: estimate at the base column's mean row width.
+                total += (col.byte_size() * self.length) // max(len(col), 1)
+                continue
+            total += width * self.length
+            row_map = self._maps[binding]
+            if col.mask is not None and (
+                row_map is None or bool(col.mask[row_map].any())
+            ):
+                total += self.length
+        return total
+
+    def apply(self, l_idx: np.ndarray, r_idx: np.ndarray, right: Frame,
+              step: JoinStepPlan) -> None:
+        """Fold one executed join step into the chain's row maps."""
+        for binding, row_map in self._maps.items():
+            self._maps[binding] = l_idx if row_map is None else row_map[l_idx]
+        for binding in right.bindings:
+            self._frames[binding] = right
+            self._maps[binding] = r_idx
+        self.length = int(l_idx.shape[0])
+        self.distribution = step.out_distribution
+        self._staged_cols = list(step.left_gather) + list(step.right_gather)
+        self.n_joins += 1
+
+    def materialise(self, step: JoinStepPlan) -> Frame:
+        """The frame the staged pipeline would have produced after ``step``
+        — each surviving column gathered once, through the composed map."""
+        columns = {
+            name: self.column(name)
+            for name in list(step.left_gather) + list(step.right_gather)
+        }
+        return Frame(columns, step.out_bindings, self.length,
+                     step.out_distribution)
 
 
 class Executor:
@@ -346,7 +462,10 @@ class Executor:
         note (the kernel may have fallen back to a single-threaded path)."""
         if local_note and local_note[-1].startswith("parallel-"):
             self.stats.record_parallel_partitions(self.pool.n_segments)
-            self.stats.record_parallel_indexed_probe()
+            if local_note[-1].startswith("parallel-dense"):
+                self.stats.record_parallel_dense_probe()
+            else:
+                self.stats.record_parallel_indexed_probe()
         if note is not None:
             note.extend(local_note)
 
@@ -607,6 +726,15 @@ class Executor:
     # -- plan execution: scans, joins, filters -----------------------------
 
     def _execute_from(self, plan: CorePlan):
+        """Run a core's scan/join pipeline.
+
+        Returns the joined (and residual-filtered) :class:`Frame` — or, for
+        a fused-final plan, the ``(chain, right_frame)`` pair the fused
+        runner finishes: the accumulated left side as a :class:`_JoinChain`
+        and the final join's build-side frame.  When the plan marks the
+        join pipeline chainable, the inner joins stream through the chain's
+        composed row maps and no intermediate join output is materialised.
+        """
         if not plan.scans:
             # SELECT without FROM: one anonymous row.
             return Frame({}, {}, 1, frozenset())
@@ -618,18 +746,59 @@ class Executor:
                 frames[scan.binding] = self._apply_filters(
                     frames[scan.binding], scan.filters
                 )
-        current = frames[plan.scans[0].binding]
         fuse_final = plan.fused is not None or self._fuse_group(plan)
         steps = plan.steps[:-1] if fuse_final else plan.steps
-        for step in steps:
-            current = self._execute_step(current, frames[step.binding], step)
-        if fuse_final:
-            return current, frames[plan.steps[-1].binding]
+        if self.use_fusion and plan.chain:
+            # Chainable pipeline: stream every (non-final) join through
+            # composed row maps; nothing intermediate is materialised.
+            chain = _JoinChain(frames[plan.scans[0].binding])
+            for step in steps:
+                self._execute_chain_step(chain, frames[step.binding], step)
+            if fuse_final:
+                return chain, frames[plan.steps[-1].binding]
+            self._finish_chain(chain)
+            current = chain.materialise(steps[-1])
+        else:
+            current = frames[plan.scans[0].binding]
+            for step in steps:
+                current = self._execute_step(current, frames[step.binding],
+                                             step)
+            if fuse_final:
+                # Identity chain over the staged frame: the fused runners
+                # work on one surface either way.
+                return _JoinChain(current), frames[plan.steps[-1].binding]
         for left_join in plan.left_joins:
             current = self._execute_left_join(current, left_join)
         if plan.residual:
             current = self._apply_filters(current, plan.residual)
         return current
+
+    def _execute_chain_step(
+        self, chain: _JoinChain, right: Frame, step: JoinStepPlan
+    ) -> None:
+        """Run one join step against the chain, folding its output indices
+        into the composed row maps instead of materialising a frame."""
+        if step.cartesian:
+            total = chain.length * right.length
+            if total > MAX_CARTESIAN_ROWS:
+                raise PlanError(
+                    f"refusing cartesian product of {chain.length} x "
+                    f"{right.length} rows; add an equality join predicate"
+                )
+            self._charge_join_motion(chain, [])
+            self._charge_join_motion(right, [])
+            step.kernel = "cartesian"
+            l_idx = np.repeat(np.arange(chain.length), right.length)
+            r_idx = np.tile(np.arange(right.length), chain.length)
+        else:
+            l_idx, r_idx = self._join_step_indices(chain, right, step)
+        chain.apply(l_idx, r_idx, right, step)
+
+    def _finish_chain(self, chain: _JoinChain) -> None:
+        """Telemetry: a chain of >= 2 joins streamed without materialising
+        any intermediate join output."""
+        if chain.n_joins >= 2:
+            self.stats.record_join_chain_fusion()
 
     def _scan_frame(self, scan: ScanPlan) -> Frame:
         binding = scan.binding
@@ -790,33 +959,53 @@ class Executor:
 
     # -- fused join -> DISTINCT --------------------------------------------
 
+    def _residual_keep(
+        self,
+        columns: dict[str, Column],
+        n_rows: int,
+        bare_names: dict[str, str],
+        residual: list[Expression],
+    ) -> Optional[np.ndarray]:
+        """Evaluate residual predicates over gathered fused columns.
+
+        Returns the keep mask, or ``None`` when every row survives (or
+        there is nothing to evaluate) — shared by both fused runners so
+        their residual semantics can never diverge.
+        """
+        if not residual:
+            return None
+        env_map: dict[str, Column] = dict(columns)
+        for bare, qualified in bare_names.items():
+            env_map[bare] = columns[qualified]
+        env = Environment(env_map, n_rows, self.registry)
+        keep = np.ones(n_rows, dtype=bool)
+        for predicate in residual:
+            keep &= truth_values(evaluate(predicate, env))
+        return None if keep.all() else keep
+
     def _run_fused_distinct(self, plan: CorePlan) -> Relation:
         """Run a compiled fused pipeline: final join, residual filter,
-        projection and DISTINCT in one pass over only the needed columns."""
-        left, right = self._execute_from(plan)
+        projection and DISTINCT in one pass over only the needed columns.
+        The accumulated left side arrives as a :class:`_JoinChain`, so each
+        gathered column is materialised once, through the composed maps."""
+        chain, right = self._execute_from(plan)
         step = plan.steps[-1]
         fused = plan.fused
-        l_idx, r_idx = self._join_step_indices(left, right, step)
+        l_idx, r_idx = self._join_step_indices(chain, right, step)
+        chain.apply(l_idx, r_idx, right, step)
+        self._finish_chain(chain)
         columns = {
-            name: left.columns[name].take(l_idx) for name in fused.left_gather
+            name: chain.column(name)
+            for name in list(fused.left_gather) + list(fused.right_gather)
         }
-        columns.update({
-            name: right.columns[name].take(r_idx) for name in fused.right_gather
-        })
-        n_rows = int(l_idx.shape[0])
-        if plan.residual:
-            env_map: dict[str, Column] = dict(columns)
-            for bare, qualified in fused.bare_names.items():
-                env_map[bare] = columns[qualified]
-            env = Environment(env_map, n_rows, self.registry)
-            keep = np.ones(n_rows, dtype=bool)
-            for predicate in plan.residual:
-                keep &= truth_values(evaluate(predicate, env))
-            if not keep.all():
-                columns = {
-                    name: col.filter(keep) for name, col in columns.items()
-                }
-                n_rows = int(keep.sum())
+        n_rows = chain.length
+        keep = self._residual_keep(columns, n_rows, fused.bare_names,
+                                   plan.residual)
+        if keep is not None:
+            columns = {
+                name: col.filter(keep) for name, col in columns.items()
+            }
+            n_rows = int(keep.sum())
         out_columns = {
             key: columns[qualified]
             for key, qualified in zip(fused.out_keys, fused.out_quals)
@@ -861,16 +1050,25 @@ class Executor:
         """
         core = plan.core
         fused = plan.fused_group
-        left, right = self._execute_from(plan)
+        chain, right = self._execute_from(plan)
         step = plan.steps[-1]
-        l_idx, r_idx = self._join_step_indices(left, right, step)
+        # Pre-join left state: the grouping runs on it and expands through
+        # the join's monotone left indices, so capture it before the final
+        # join folds into the chain.
+        key_columns = [chain.column(name) for name in fused.key_quals]
+        group_index = None
+        if len(fused.key_quals) == 1:
+            group_index = self._stored_index(chain, fused.key_quals[0],
+                                             build=True)
+        n_left = chain.length
+        l_idx, r_idx = self._join_step_indices(chain, right, step)
+        chain.apply(l_idx, r_idx, right, step)
+        self._finish_chain(chain)
         columns = {
-            name: left.columns[name].take(l_idx) for name in fused.left_gather
+            name: chain.column(name)
+            for name in list(fused.left_gather) + list(fused.right_gather)
         }
-        columns.update({
-            name: right.columns[name].take(r_idx) for name in fused.right_gather
-        })
-        n_rows = int(l_idx.shape[0])
+        n_rows = chain.length
 
         def row_env() -> Environment:
             env_map: dict[str, Column] = dict(columns)
@@ -878,29 +1076,21 @@ class Executor:
                 env_map[bare] = columns[qualified]
             return Environment(env_map, n_rows, self.registry)
 
-        if plan.residual:
-            env = row_env()
-            keep = np.ones(n_rows, dtype=bool)
-            for predicate in plan.residual:
-                keep &= truth_values(evaluate(predicate, env))
-            if not keep.all():
-                columns = {
-                    name: col.filter(keep) for name, col in columns.items()
-                }
-                l_idx = l_idx[keep]
-                n_rows = int(keep.sum())
+        keep = self._residual_keep(columns, n_rows, fused.bare_names,
+                                   plan.residual)
+        if keep is not None:
+            columns = {
+                name: col.filter(keep) for name, col in columns.items()
+            }
+            l_idx = l_idx[keep]
+            n_rows = int(keep.sum())
 
         # Group the left side once (cached-index aware), then expand through
         # the monotone left-row indices of the join output.
-        key_columns = [left.columns[name] for name in fused.key_quals]
-        group_index = None
-        if len(fused.key_quals) == 1:
-            group_index = self._stored_index(left, fused.key_quals[0],
-                                             build=True)
         left_order, left_starts = self._group_kernel(key_columns,
                                                      index=group_index)
         order, starts = _expand_group_order(left_order, left_starts, l_idx,
-                                            left.length)
+                                            n_left)
         n_groups = int(starts.shape[0])
         counts = np.diff(np.append(starts, order.shape[0]))
 

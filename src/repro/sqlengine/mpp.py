@@ -19,7 +19,8 @@ without changing any measured quantity.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
@@ -82,17 +83,41 @@ class SegmentPool:
         else:
             self.n_workers = max(1, min(n_segments, os.cpu_count() or 1))
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._init_lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._init_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.n_workers,
+                    thread_name_prefix="repro-segment",
+                )
+            return self._pool
 
     def map(self, fn: Callable, items: Sequence) -> list:
         """Run ``fn`` over ``items``, in order; threaded when it can help."""
         if self.n_workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.n_workers,
-                thread_name_prefix="repro-segment",
-            )
-        return list(self._pool.map(fn, items))
+        return list(self._ensure_pool().map(fn, items))
+
+    def submit(self, fn: Callable, *args) -> Future:
+        """Schedule one task on the pool, returning its Future.
+
+        Used by the overlapped-composition driver to run a contraction
+        round's representative composition off the critical path.  On a
+        single-worker pool the task runs inline (no overlap is possible)
+        and a completed Future is returned, so callers need no special
+        casing.  A task running on a worker may itself call :meth:`map`;
+        its partitions are then served by the remaining workers.
+        """
+        if self.n_workers <= 1:
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args))
+            except BaseException as error:  # propagate via the future
+                future.set_exception(error)
+            return future
+        return self._ensure_pool().submit(fn, *args)
 
     def shutdown(self) -> None:
         """Release the worker threads (a later ``map`` re-creates them).

@@ -25,7 +25,11 @@ workloads: equi-joins and keyed aggregation.
   search probes are independent per row, so the probe side is split into
   contiguous chunks, each worker runs ``searchsorted`` against the shared
   sorted index, and the chunk outputs concatenate back in probe order —
-  trivially identical to the single-threaded sorted-index probe.
+  trivially identical to the single-threaded sorted-index probe.  Dense
+  build-side key ranges take :func:`_parallel_dense_probe` instead: the
+  O(span) direct-address table is built once and probed in the same
+  contiguous chunks, so an existing index over dense keys no longer forces
+  the whole join single-threaded.
 
 Both kernels are **bit-identical** to their single-threaded references —
 :func:`~repro.sqlengine.operators.join_indices` and
@@ -44,6 +48,7 @@ import numpy as np
 from .errors import ExecutionError
 from .mpp import SegmentPool, partition_rows
 from .operators import (
+    NO_MATCH,
     KeyIndex,
     _boundaries,
     _dense_span_limit,
@@ -178,9 +183,10 @@ def parallel_probe_indexed(
     outputs reproduces the single-threaded probe order exactly (grouped by
     left row ascending; within a row, matches in stable key order).
 
-    Shapes outside the kernel — multi-column, text or NULL-bearing keys,
-    and dense build-side key ranges where the O(n) direct-address join
-    beats any probe — fall back to the single-threaded dispatch.
+    Dense build-side key ranges route to :func:`_parallel_dense_probe`
+    (the direct-address table is built once, then probed in chunks); shapes
+    outside the kernel — multi-column, text or NULL-bearing keys — fall
+    back to the single-threaded dispatch.
     """
     if not (_parallel_eligible(left_keys) and _parallel_eligible(right_keys)):
         return join_indices(left_keys, right_keys, right_index=right_index,
@@ -196,9 +202,10 @@ def parallel_probe_indexed(
     if right_index.min_value is not None:
         span = right_index.max_value - right_index.min_value + 1
         if span <= _dense_span_limit(n_right):
-            # Dense build side: the direct-address kernel is already O(n).
-            return join_indices(left_keys, right_keys,
-                                right_index=right_index, note=note)
+            # Dense build side: build the O(span) direct-address table once,
+            # then probe it in parallel chunks (the probes are independent
+            # per row, exactly like the sorted-index case below).
+            return _parallel_dense_probe(lk, rk, right_index, pool, note)
     # Materialise the lazy index properties once, before worker threads
     # share them.
     sorted_values = right_index.sorted_values
@@ -240,6 +247,80 @@ def parallel_probe_indexed(
             r_sorted_pos = run_starts + within
             r_local = r_sorted_pos if order is None else order[r_sorted_pos]
             return l_local + start, r_local
+
+        results = pool.map(probe_runs, chunks)
+    return (
+        np.concatenate([left for left, _ in results]),
+        np.concatenate([right for _, right in results]),
+    )
+
+
+def _parallel_dense_probe(
+    lk: np.ndarray,
+    rk: np.ndarray,
+    right_index: KeyIndex,
+    pool: SegmentPool,
+    note: Optional[list] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Chunk-parallel probe of a dense direct-address join table.
+
+    Mirrors :func:`~repro.sqlengine.operators._dense_join` bit for bit: the
+    O(span) slot (or bucket) table is built once on the calling thread, and
+    the probe side is cut into contiguous chunks whose outputs concatenate
+    back in probe order — the single-threaded kernel's exact output order.
+    Before this kernel, a cached build-side index over a dense key range
+    forced the whole join single-threaded; now only the O(n_right) build
+    stays serial.
+    """
+    n_right = int(rk.shape[0])
+    rmin = right_index.min_value
+    span = right_index.max_value - rmin + 1
+    rel_right = rk - rmin
+    chunks = _probe_chunks(int(lk.shape[0]), pool.n_segments)
+    counts: Optional[np.ndarray] = None
+    if right_index.is_unique:
+        unique = True
+    else:
+        counts = np.bincount(rel_right, minlength=span)
+        unique = n_right < 2 or int(counts.max()) <= 1
+    if unique:
+        if note is not None:
+            note.append("parallel-dense")
+        slots = np.full(span, NO_MATCH, dtype=np.int64)
+        slots[rel_right] = np.arange(n_right, dtype=np.int64)
+
+        def probe_unique(bounds: tuple[int, int]):
+            start, stop = bounds
+            sub = lk[start:stop]
+            in_bounds = (sub >= rmin) & (sub <= rmin + (span - 1))
+            candidates = slots[np.where(in_bounds, sub - rmin, 0)]
+            match = in_bounds & (candidates != NO_MATCH)
+            l_local = np.flatnonzero(match)
+            return l_local + start, candidates[l_local]
+
+        results = pool.map(probe_unique, chunks)
+    else:
+        if note is not None:
+            note.append("parallel-dense-merge")
+        # Duplicate build keys: the same bucket layout _dense_join builds —
+        # right rows grouped by key code via the index's stable order.
+        order = right_index.order
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+
+        def probe_runs(bounds: tuple[int, int]):
+            start, stop = bounds
+            sub = lk[start:stop]
+            in_bounds = (sub >= rmin) & (sub <= rmin + (span - 1))
+            l_rel = np.where(in_bounds, sub - rmin, 0)
+            cnt = np.where(in_bounds, counts[l_rel], 0)
+            total = int(cnt.sum())
+            if total == 0:
+                return _empty_pair()
+            l_local = np.repeat(np.arange(sub.shape[0]), cnt)
+            run_starts = np.repeat(starts[l_rel], cnt)
+            offsets = np.concatenate(([0], np.cumsum(cnt)[:-1]))
+            within = np.arange(total) - np.repeat(offsets, cnt)
+            return l_local + start, order[run_starts + within]
 
         results = pool.map(probe_runs, chunks)
     return (

@@ -38,7 +38,12 @@ The compiler also wires in **pipeline fusion** (enabled via ``fuse``):
   arguments and residual inputs are gathered, and the grouping order is
   computed on the pre-join left side (cached-index aware) and expanded
   through the join's monotone left-row indices, so the joined group-key
-  column is never materialised or sorted at output size.
+  column is never materialised or sorted at output size; and
+* **join-chain fusion** — a pipeline of two or more joins (``chain``)
+  streams through composed row-index maps: a join feeding another join's
+  build side never materialises its output, and each downstream-consumed
+  column is gathered exactly once across the whole chain (see
+  ``_JoinChain`` in the executor).
 
 Compiling ``fuse=False`` reproduces the seed's materialising pipeline,
 which the benchmarks use as the comparison baseline and the property tests
@@ -241,7 +246,14 @@ class FusedGroupPlan:
 
 @dataclass
 class CorePlan:
-    """The compiled pipeline of one SELECT core."""
+    """The compiled pipeline of one SELECT core.
+
+    ``chain`` marks a join pipeline of two or more steps compiled with
+    fusion: the executor streams it through composed row-index maps (a
+    join feeding another join's build side never materialises the
+    intermediate — every downstream-consumed column is gathered exactly
+    once, across the whole chain).
+    """
 
     core: SelectCore
     scans: list[ScanPlan]
@@ -254,6 +266,7 @@ class CorePlan:
     out_distribution: Optional[str]
     fused: Optional[FusedDistinctPlan]
     fused_group: Optional[FusedGroupPlan] = None
+    chain: bool = False
 
 
 @dataclass
@@ -546,7 +559,7 @@ class _Compiler:
 
         return CorePlan(core, scans, steps, left_plans, residual,
                         is_aggregate, out_names, display, out_distribution,
-                        fused, fused_group)
+                        fused, fused_group, chain=self.fuse and len(steps) >= 2)
 
     # -- inner / left join steps -----------------------------------------
 

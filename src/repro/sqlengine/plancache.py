@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import dataclasses
 import re
+import threading
 from collections import OrderedDict
 from typing import Optional
 
@@ -148,11 +149,14 @@ class _Template:
     parameters, so a cached result is only valid for its own), ``cacheable``
     whether the template is free of scalar function calls (a user-defined
     function may be non-deterministic, so such statements always execute),
-    and ``result`` the cached ``(key, relation, rowcount)`` entry itself.
+    and ``results`` a small per-template LRU of cached
+    ``(params, fingerprint) -> (relation, rowcount)`` entries — multiple
+    parameterisations of one template stay warm side by side, so
+    alternating parameter sets no longer thrash a single slot.
     """
 
     __slots__ = ("statement", "slots", "physical", "table_nodes", "params",
-                 "cacheable", "result")
+                 "cacheable", "results")
 
     def __init__(self, statement: Optional[Statement], slots: list):
         self.statement = statement
@@ -166,7 +170,30 @@ class _Template:
             _collect_nodes(statement, FuncCall, calls)
             self.cacheable = not calls
         self.params: tuple = ()
-        self.result: Optional[tuple] = None
+        self.results: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+    def cached_result(self, key: tuple) -> Optional[tuple]:
+        """Fetch the ``(relation, rowcount)`` entry for a key, refreshing
+        its LRU position, or ``None``."""
+        entry = self.results.get(key)
+        if entry is not None:
+            self.results.move_to_end(key)
+        return entry
+
+    def store_result(
+        self, key: tuple, relation, rowcount: int, capacity: int
+    ) -> int:
+        """Insert (or refresh) one result entry; returns how many old
+        entries the capacity bound evicted.  Entries whose fingerprint went
+        stale (a mutated input table) are never served — their keys stop
+        matching — and age out here."""
+        self.results[key] = (relation, rowcount)
+        self.results.move_to_end(key)
+        evicted = 0
+        while len(self.results) > capacity:
+            self.results.popitem(last=False)
+            evicted += 1
+        return evicted
 
     def patch(self, params: list[str]) -> Statement:
         self.params = tuple(params)
@@ -178,11 +205,21 @@ class _Template:
 
 
 class PlanCache:
-    """LRU cache of parsed statement templates."""
+    """LRU cache of parsed statement templates.
+
+    The cache structure (and the in-place patch of a template's AST) is
+    guarded by a lock, so statements may be submitted from more than one
+    thread — the overlapped-composition driver runs a composition statement
+    on a pool worker while the main thread executes the next round.  Two
+    *concurrent* statements must still normalise to different templates
+    (each template's AST is single-occupancy during execution), which the
+    round structure guarantees.
+    """
 
     def __init__(self, max_entries: int = 256):
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, _Template]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -207,21 +244,23 @@ class PlanCache:
             # comment-aware normaliser.  Neither occurs in generated SQL.
             return parse_statement(sql), False, None
         template_sql, params = normalize_statement(sql)
-        entry = self._entries.get(template_sql)
-        if entry is not None:
-            self._entries.move_to_end(template_sql)
+        with self._lock:
+            entry = self._entries.get(template_sql)
+            if entry is not None:
+                self._entries.move_to_end(template_sql)
+                if entry.statement is None:
+                    return parse_statement(sql), False, None
+                return entry.patch(params), True, entry
+            direct = parse_statement(sql)
+            entry = self._build(template_sql, params, direct)
+            self._entries[template_sql] = entry
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
             if entry.statement is None:
-                return parse_statement(sql), False, None
-            return entry.patch(params), True, entry
-        direct = parse_statement(sql)
-        entry = self._build(template_sql, params, direct)
-        self._entries[template_sql] = entry
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-        if entry.statement is None:
-            return direct, False, None
-        # _build leaves the template patched with this statement's params.
-        return entry.statement, False, entry
+                return direct, False, None
+            # _build leaves the template patched with this statement's
+            # params.
+            return entry.statement, False, entry
 
     def _build(
         self, template_sql: str, params: list[str], direct: Statement

@@ -16,6 +16,7 @@ as "did not finish" — reproducing the DNF cells of Table III.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -55,12 +56,16 @@ class StatsSnapshot:
     physical_plan_invalidations: int = 0
     fused_pipelines: int = 0
     fused_group_pipelines: int = 0
+    join_chain_fusions: int = 0
     group_sorts_skipped: int = 0
     parallel_partitions: int = 0
     parallel_indexed_probes: int = 0
+    parallel_dense_probes: int = 0
     hash_distincts: int = 0
     subquery_cache_hits: int = 0
     subquery_cache_misses: int = 0
+    subquery_cache_evictions: int = 0
+    overlapped_compositions: int = 0
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated since ``earlier`` (peak is the later peak)."""
@@ -85,22 +90,38 @@ class StatsSnapshot:
             fused_pipelines=self.fused_pipelines - earlier.fused_pipelines,
             fused_group_pipelines=self.fused_group_pipelines
             - earlier.fused_group_pipelines,
+            join_chain_fusions=self.join_chain_fusions
+            - earlier.join_chain_fusions,
             group_sorts_skipped=self.group_sorts_skipped
             - earlier.group_sorts_skipped,
             parallel_partitions=self.parallel_partitions
             - earlier.parallel_partitions,
             parallel_indexed_probes=self.parallel_indexed_probes
             - earlier.parallel_indexed_probes,
+            parallel_dense_probes=self.parallel_dense_probes
+            - earlier.parallel_dense_probes,
             hash_distincts=self.hash_distincts - earlier.hash_distincts,
             subquery_cache_hits=self.subquery_cache_hits
             - earlier.subquery_cache_hits,
             subquery_cache_misses=self.subquery_cache_misses
             - earlier.subquery_cache_misses,
+            subquery_cache_evictions=self.subquery_cache_evictions
+            - earlier.subquery_cache_evictions,
+            overlapped_compositions=self.overlapped_compositions
+            - earlier.overlapped_compositions,
         )
 
 
 class EngineStats:
-    """Mutable statistics accumulator owned by a Database instance."""
+    """Mutable statistics accumulator owned by a Database instance.
+
+    Counter updates are guarded by a lock and the per-statement scratch
+    counters are thread-local, so statements of an overlapped composition
+    (see :mod:`repro.core.randomised_contraction`) can execute on a
+    :class:`~repro.sqlengine.mpp.SegmentPool` worker while the driving
+    thread runs the next round — totals stay exact and each
+    :class:`QueryRecord` attributes bytes/motion to its own statement.
+    """
 
     def __init__(self, space_budget_bytes: Optional[int] = None):
         self.space_budget_bytes = space_budget_bytes
@@ -123,38 +144,55 @@ class EngineStats:
         self.physical_plan_invalidations = 0
         self.fused_pipelines = 0
         self.fused_group_pipelines = 0
+        self.join_chain_fusions = 0
         self.group_sorts_skipped = 0
         self.parallel_partitions = 0
         self.parallel_indexed_probes = 0
+        self.parallel_dense_probes = 0
         self.hash_distincts = 0
         self.subquery_cache_hits = 0
         self.subquery_cache_misses = 0
+        self.subquery_cache_evictions = 0
+        self.overlapped_compositions = 0
         self.log: list[QueryRecord] = []
+        self._lock = threading.Lock()
         # Per-statement scratch counters, folded into a QueryRecord by the
-        # database façade around each execute() call.
-        self._stmt_bytes = 0
-        self._stmt_rows = 0
-        self._stmt_motion = 0
+        # database façade around each execute() call.  Thread-local so an
+        # overlapped composition statement never pollutes the accounting of
+        # the statement concurrently executing on the driving thread.
+        self._scratch = threading.local()
+
+    def _stmt(self) -> "threading.local":
+        scratch = self._scratch
+        if not hasattr(scratch, "bytes"):
+            scratch.bytes = 0
+            scratch.rows = 0
+            scratch.motion = 0
+        return scratch
 
     # -- table lifecycle ----------------------------------------------------
 
     def record_table_created(self, n_bytes: int, n_rows: int) -> None:
         """Account a freshly materialised table and enforce the budget."""
-        self.rows_written += n_rows
-        self.bytes_written += n_bytes
-        self.live_bytes += n_bytes
-        self._stmt_bytes += n_bytes
-        self._stmt_rows += n_rows
-        if self.live_bytes > self.peak_live_bytes:
-            self.peak_live_bytes = self.live_bytes
+        scratch = self._stmt()
+        scratch.bytes += n_bytes
+        scratch.rows += n_rows
+        with self._lock:
+            self.rows_written += n_rows
+            self.bytes_written += n_bytes
+            self.live_bytes += n_bytes
+            if self.live_bytes > self.peak_live_bytes:
+                self.peak_live_bytes = self.live_bytes
+            live = self.live_bytes
         if (
             self.space_budget_bytes is not None
-            and self.live_bytes > self.space_budget_bytes
+            and live > self.space_budget_bytes
         ):
-            raise SpaceBudgetExceeded(self.live_bytes, self.space_budget_bytes)
+            raise SpaceBudgetExceeded(live, self.space_budget_bytes)
 
     def record_table_dropped(self, n_bytes: int) -> None:
-        self.live_bytes -= n_bytes
+        with self._lock:
+            self.live_bytes -= n_bytes
 
     def record_rows_appended(self, n_bytes: int, n_rows: int) -> None:
         """INSERT accounting (same budget rules as table creation)."""
@@ -164,111 +202,146 @@ class EngineStats:
 
     def record_redistribution(self, n_bytes: int) -> None:
         """Rows re-hashed to other segments ahead of a join/aggregation."""
-        self.motion_bytes += n_bytes
-        self._stmt_motion += n_bytes
+        self._stmt().motion += n_bytes
+        with self._lock:
+            self.motion_bytes += n_bytes
 
     def record_broadcast(self, n_bytes: int, n_segments: int) -> None:
         """A small relation replicated to every segment."""
         total = n_bytes * n_segments
-        self.motion_bytes += total
-        self.broadcast_bytes += total
-        self._stmt_motion += total
+        self._stmt().motion += total
+        with self._lock:
+            self.motion_bytes += total
+            self.broadcast_bytes += total
 
     # -- engine caches --------------------------------------------------------
 
+    def _bump(self, counter: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + by)
+
     def record_plan_cache_hit(self) -> None:
         """A statement executed from a cached parse (zero lexer/parser cost)."""
-        self.plan_cache_hits += 1
+        self._bump("plan_cache_hits")
 
     def record_plan_cache_miss(self) -> None:
         """A statement that had to be parsed from scratch."""
-        self.plan_cache_misses += 1
+        self._bump("plan_cache_misses")
 
     def record_index_cache_hit(self) -> None:
         """A keyed operator reused a stored table's cached column index."""
-        self.index_cache_hits += 1
+        self._bump("index_cache_hits")
 
     def record_index_cache_miss(self) -> None:
         """A keyed operator built (and cached) a stored column index."""
-        self.index_cache_misses += 1
+        self._bump("index_cache_misses")
 
     def record_join_pruned(self) -> None:
         """A join proven empty from index stats; its data motion was skipped."""
-        self.joins_pruned += 1
+        self._bump("joins_pruned")
 
     def record_physical_plan_hit(self) -> None:
         """A statement re-executed its template's cached physical plan."""
-        self.physical_plan_hits += 1
+        self._bump("physical_plan_hits")
 
     def record_physical_plan_miss(self) -> None:
         """A statement compiled its physical plan from scratch."""
-        self.physical_plan_misses += 1
+        self._bump("physical_plan_misses")
 
     def record_physical_plan_invalidation(self) -> None:
         """A cached physical plan failed its validity check (schema or
         binding drift) and was recompiled."""
-        self.physical_plan_invalidations += 1
+        self._bump("physical_plan_invalidations")
 
     def record_fused_pipeline(self) -> None:
         """A join fed DISTINCT through one fused kernel pass instead of
         materialising the intermediate frame and relation."""
-        self.fused_pipelines += 1
+        self._bump("fused_pipelines")
 
     def record_fused_group_pipeline(self) -> None:
         """A join fed GROUP BY through one fused kernel pass: the aggregate
         ran directly over the probe stream instead of a materialised frame."""
-        self.fused_group_pipelines += 1
+        self._bump("fused_group_pipelines")
+
+    def record_join_chain_fusion(self) -> None:
+        """A chain of two or more joins streamed through composed row-index
+        maps — no intermediate join output was ever materialised."""
+        self._bump("join_chain_fusions")
 
     def record_group_sort_skipped(self) -> None:
         """A GROUP BY ran sort-free and gather-free because a cached index
         proved its input pre-sorted on disk."""
-        self.group_sorts_skipped += 1
+        self._bump("group_sorts_skipped")
 
     def record_parallel_partitions(self, n_partitions: int) -> None:
         """A kernel executed segment-parallel over this many partitions."""
-        self.parallel_partitions += n_partitions
+        self._bump("parallel_partitions", n_partitions)
 
     def record_parallel_indexed_probe(self) -> None:
         """A join probed a cached sorted index in parallel chunks."""
-        self.parallel_indexed_probes += 1
+        self._bump("parallel_indexed_probes")
+
+    def record_parallel_dense_probe(self) -> None:
+        """A dense direct-address join probed its slot table in parallel
+        chunks (the build side's cached index no longer forces the
+        single-threaded kernel)."""
+        self._bump("parallel_dense_probes")
 
     def record_hash_distinct(self) -> None:
         """A DISTINCT ran on the open-addressing hash kernel (no lexsort)."""
-        self.hash_distincts += 1
+        self._bump("hash_distincts")
 
     def record_subquery_cache_hit(self) -> None:
         """A statement was served from the subquery/result cache without
         re-executing (template + input-table versions matched)."""
-        self.subquery_cache_hits += 1
+        self._bump("subquery_cache_hits")
 
     def record_subquery_cache_miss(self) -> None:
-        """A cacheable statement executed and (re)populated the result
-        cache."""
-        self.subquery_cache_misses += 1
+        """A cacheable statement executed instead of being served (and,
+        when its result passed the admission gate, repopulated the
+        cache)."""
+        self._bump("subquery_cache_misses")
+
+    def record_subquery_cache_eviction(self) -> None:
+        """A template's result-cache LRU overflowed and dropped its oldest
+        entry."""
+        self._bump("subquery_cache_evictions")
+
+    def record_overlapped_composition(self) -> None:
+        """A contraction round's representative composition executed on the
+        segment pool, overlapped with the next round's contraction."""
+        self._bump("overlapped_compositions")
 
     # -- statement bracketing -------------------------------------------------
 
     def begin_statement(self) -> None:
-        self._stmt_bytes = 0
-        self._stmt_rows = 0
-        self._stmt_motion = 0
+        scratch = self._stmt()
+        scratch.bytes = 0
+        scratch.rows = 0
+        scratch.motion = 0
 
     def end_statement(self, label: str, sql: str, rows: int, elapsed: float) -> None:
-        self.queries += 1
-        self.log.append(
-            QueryRecord(
-                label=label,
-                sql=sql if len(sql) <= 200 else sql[:197] + "...",
-                rows=rows,
-                bytes_written=self._stmt_bytes,
-                motion_bytes=self._stmt_motion,
-                elapsed_seconds=elapsed,
+        scratch = self._stmt()
+        with self._lock:
+            self.queries += 1
+            self.log.append(
+                QueryRecord(
+                    label=label,
+                    sql=sql if len(sql) <= 200 else sql[:197] + "...",
+                    rows=rows,
+                    bytes_written=scratch.bytes,
+                    motion_bytes=scratch.motion,
+                    elapsed_seconds=elapsed,
+                )
             )
-        )
 
     # -- snapshots -------------------------------------------------------------
 
     def snapshot(self) -> StatsSnapshot:
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> StatsSnapshot:
         return StatsSnapshot(
             queries=self.queries,
             rows_written=self.rows_written,
@@ -287,12 +360,16 @@ class EngineStats:
             physical_plan_invalidations=self.physical_plan_invalidations,
             fused_pipelines=self.fused_pipelines,
             fused_group_pipelines=self.fused_group_pipelines,
+            join_chain_fusions=self.join_chain_fusions,
             group_sorts_skipped=self.group_sorts_skipped,
             parallel_partitions=self.parallel_partitions,
             parallel_indexed_probes=self.parallel_indexed_probes,
+            parallel_dense_probes=self.parallel_dense_probes,
             hash_distincts=self.hash_distincts,
             subquery_cache_hits=self.subquery_cache_hits,
             subquery_cache_misses=self.subquery_cache_misses,
+            subquery_cache_evictions=self.subquery_cache_evictions,
+            overlapped_compositions=self.overlapped_compositions,
         )
 
     def reset_peak(self) -> None:

@@ -14,6 +14,7 @@ pattern this cache targets.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Iterable, Optional
 
 import numpy as np
@@ -146,10 +147,17 @@ class Catalog:
     ``name`` — the one error messages and :meth:`names` show — keeps the
     casing it was given.  ``rename`` in particular must not silently
     lower-case the user-visible name while normalising its lookup key.
+
+    Mutations are lock-guarded so an overlapped-composition statement
+    executing on a pool worker can create/drop/rename its tables while the
+    driving thread runs the next contraction round (the two threads always
+    touch disjoint table names; the lock only keeps the dict transitions —
+    ``rename`` is a pop plus an insert — atomic).
     """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
+        self._lock = threading.Lock()
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._tables
@@ -162,27 +170,35 @@ class Catalog:
 
     def put(self, table: Table) -> None:
         key = table.name.lower()
-        if key in self._tables:
-            raise CatalogError(f"table {table.name!r} already exists")
-        self._tables[key] = table
+        with self._lock:
+            if key in self._tables:
+                raise CatalogError(f"table {table.name!r} already exists")
+            self._tables[key] = table
 
     def drop(self, name: str) -> Table:
         try:
-            return self._tables.pop(name.lower())
+            with self._lock:
+                return self._tables.pop(name.lower())
         except KeyError:
             raise CatalogError(f"unknown table {name!r}")
 
     def rename(self, old: str, new: str) -> Table:
-        if new.lower() in self._tables:
-            raise CatalogError(f"table {new!r} already exists")
-        table = self.drop(old)
-        table.name = new
-        self._tables[new.lower()] = table
-        return table
+        with self._lock:
+            if new.lower() in self._tables:
+                raise CatalogError(f"table {new!r} already exists")
+            try:
+                table = self._tables.pop(old.lower())
+            except KeyError:
+                raise CatalogError(f"unknown table {old!r}")
+            table.name = new
+            self._tables[new.lower()] = table
+            return table
 
     def names(self) -> list[str]:
         """User-visible table names, ordered by their lookup key."""
-        return [self._tables[key].name for key in sorted(self._tables)]
+        with self._lock:
+            return [self._tables[key].name for key in sorted(self._tables)]
 
     def total_bytes(self) -> int:
-        return sum(t.byte_size() for t in self._tables.values())
+        with self._lock:
+            return sum(t.byte_size() for t in self._tables.values())

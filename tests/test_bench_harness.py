@@ -185,6 +185,29 @@ def test_bench_compare_reports_new_and_removed_keys(tmp_path, bench_compare,
     assert "1 new, 1 removed" in out
 
 
+def test_bench_compare_nan_metric_is_drift_not_alignment(tmp_path,
+                                                         bench_compare,
+                                                         capsys):
+    """A metric present on both sides but NaN on either must be reported
+    as drift (exit 3): NaN means a broken measurement, and treating it as
+    aligned would let it pass every future comparison."""
+    baseline = tmp_path / "baseline.json"
+    fresh = tmp_path / "fresh.json"
+    baseline.write_text(json.dumps({"a": {"t_s": 1.0}, "rate": float("nan")}))
+    fresh.write_text(json.dumps({"a": {"t_s": float("nan")}, "rate": 0.5}))
+    code = bench_compare.main(["bench_compare.py", str(baseline), str(fresh)])
+    out = capsys.readouterr().out
+    assert code == 3
+    assert "nan" in out
+    assert "2 NaN metric(s)" in out
+    # NaN on both sides is still drift — NaN == NaN never holds.
+    baseline.write_text(json.dumps({"rate": float("nan")}))
+    fresh.write_text(json.dumps({"rate": float("nan")}))
+    assert bench_compare.main(
+        ["bench_compare.py", str(baseline), str(fresh)]) == 3
+    capsys.readouterr()
+
+
 def test_bench_compare_missing_or_invalid_inputs(tmp_path, bench_compare,
                                                  capsys):
     fresh = tmp_path / "fresh.json"

@@ -1,0 +1,327 @@
+"""Differential fuzzing: every fast path vs the retained sort-merge reference.
+
+ConnectIt's lesson (Dhulipala et al., 2020) is that connectivity kernels
+only stay trustworthy when the many sampling/finish combinations are
+differentially tested against a simple reference.  This engine's
+equivalent surface is the SELECT pipeline: plan-cache templating, compiled
+physical plans, column pruning, join-chain fusion, fused join->DISTINCT
+and join->GROUP BY, segment-parallel kernels, and the subquery result
+cache all rewrite how a statement executes — and every one of them claims
+bit-identical output.
+
+This harness generates seeded random SELECT statements (join chains up to
+depth 3, DISTINCT, GROUP BY with aggregates, LEFT OUTER JOIN, negative
+constants, NULL-bearing columns, IS NULL predicates) over small random
+tables, and runs each statement on four configurations:
+
+* **reference** — every cache, fusion and parallel feature off, with the
+  executor's kernels swapped for the retained sort-merge references
+  (``merge_join_indices``, ``sorted_group_rows``, the sort-based
+  DISTINCT).  This is the seed engine, all the way down to the kernels.
+* **planned** — the default engine: plan cache, physical plans, fusion,
+  join-chain fusion, result cache.
+* **warm** — the same statement re-executed on the planned database, so
+  the warm template/physical-plan/result-cache paths are exercised.
+* **parallel** — fusion plus a forced multi-worker pool with
+  ``PARALLEL_MIN_ROWS`` dropped to 1, so the segment-parallel kernels
+  engage even on fuzz-sized inputs.
+
+All four must produce bit-identical relations: storage names, display
+names, column order, SQL types, null masks, non-null values, row order.
+
+Runs in tier-1 under a fixed seed.  Env knobs for CI:
+
+* ``REPRO_FUZZ_ROUNDS`` — statement count (default 200);
+* ``REPRO_FUZZ_SEED`` — generator seed (default 20200420).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.sqlengine import Database
+from repro.sqlengine.operators import (
+    merge_join_indices,
+    pad_left_outer,
+    sorted_group_rows,
+)
+
+FUZZ_ROUNDS = int(os.environ.get("REPRO_FUZZ_ROUNDS", "200"))
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20200420"))
+
+#: Fresh random tables (and databases) every this many statements, with a
+#: DDL churn step (append + rename round-trip) halfway through each batch.
+BATCH = 40
+
+TABLES = {
+    "t0": ("k0", "a0", "n0"),
+    "t1": ("k1", "a1", "n1"),
+    "t2": ("k2", "a2", "n2"),
+}
+#: Alias pool; t0 appears twice so chains can re-join a table (the paper's
+#: per-round ``reps`` pattern) and bare column names can collide.
+ALIASES = [("t0", "x"), ("t1", "y"), ("t2", "z"), ("t0", "w")]
+
+
+# ---------------------------------------------------------------------------
+# engine configurations
+# ---------------------------------------------------------------------------
+
+
+def reference_db() -> Database:
+    """The seed pipeline over the retained sort-merge reference kernels."""
+    db = Database(
+        n_segments=4,
+        use_plan_cache=False,
+        use_index_cache=False,
+        use_physical_plans=False,
+        use_fusion=False,
+        use_result_cache=False,
+        parallel=False,
+    )
+    executor = db._executor
+
+    def join_kernel(left_keys, right_keys, left_index=None, right_index=None,
+                    note=None):
+        return merge_join_indices(left_keys, right_keys)
+
+    def left_join_kernel(left_keys, right_keys, left_index=None,
+                         right_index=None, note=None):
+        l_idx, r_idx = merge_join_indices(left_keys, right_keys)
+        return pad_left_outer(l_idx, r_idx, len(left_keys[0]))
+
+    def group_kernel(key_columns, index=None):
+        return sorted_group_rows(key_columns)
+
+    def distinct_kernel(columns, note=None):
+        order, starts = sorted_group_rows(columns)
+        return np.sort(order[starts]) if order.size else order
+
+    executor._join_kernel = join_kernel
+    executor._left_join_kernel = left_join_kernel
+    executor._group_kernel = group_kernel
+    executor._distinct_kernel = distinct_kernel
+    return db
+
+
+def planned_db() -> Database:
+    return Database(n_segments=4)
+
+
+def parallel_db() -> Database:
+    return Database(n_segments=4, parallel=True)
+
+
+# ---------------------------------------------------------------------------
+# statement generation
+# ---------------------------------------------------------------------------
+
+
+def table_statements(rand: random.Random) -> list[str]:
+    """CREATE + INSERT statements for one batch of small random tables."""
+    statements = []
+    for name, (key, val, nullable) in TABLES.items():
+        n_rows = rand.randint(8, 28)
+        statements.append(
+            f"create table {name} ({key} int64, {val} int64, {nullable} int64)"
+        )
+        rows = []
+        for _ in range(n_rows):
+            null = "null" if rand.random() < 0.25 else str(rand.randint(0, 4))
+            rows.append(f"({rand.randint(0, 6)}, {rand.randint(-5, 5)}, {null})")
+        statements.append(f"insert into {name} values {', '.join(rows)}")
+    return statements
+
+
+def churn_statements(rand: random.Random) -> list[str]:
+    """Mid-batch DDL churn: appends and a rename round-trip, which must
+    invalidate result-cache fingerprints and survive plan re-validation."""
+    target = rand.choice(list(TABLES))
+    key, val, nullable = TABLES[target]
+    null = "null" if rand.random() < 0.5 else str(rand.randint(0, 4))
+    return [
+        f"insert into {target} values "
+        f"({rand.randint(0, 6)}, {rand.randint(-5, 5)}, {null})",
+        f"alter table {target} rename to churned",
+        f"alter table churned rename to {target}",
+    ]
+
+
+def _join_condition(rand: random.Random, left: tuple, right: tuple) -> str:
+    """One equality edge between two (table, alias) uses.  Occasionally
+    joins on the NULL-bearing column, exercising the kernels' NULL-key
+    filtering."""
+    left_cols = TABLES[left[0]]
+    right_cols = TABLES[right[0]]
+    left_col = left_cols[0] if rand.random() < 0.75 else left_cols[2]
+    right_col = right_cols[0] if rand.random() < 0.75 else right_cols[2]
+    return f"{left[1]}.{left_col} = {right[1]}.{right_col}"
+
+
+def _predicate(rand: random.Random, uses: list[tuple]) -> str:
+    table, alias = rand.choice(uses)
+    column = rand.choice(TABLES[table])
+    if rand.random() < 0.15:
+        negated = "not " if rand.random() < 0.5 else ""
+        return f"{alias}.{column} is {negated}null"
+    op = rand.choice([">", "<", "!=", "="])
+    return f"{alias}.{column} {op} {rand.randint(-4, 4)}"
+
+
+def _projection_item(rand: random.Random, uses: list[tuple],
+                     position: int) -> str:
+    table, alias = rand.choice(uses)
+    column = rand.choice(TABLES[table])
+    ref = f"{alias}.{column}"
+    roll = rand.random()
+    if roll < 0.2:
+        return f"{ref} + {rand.randint(-3, 3)} c{position}"
+    if roll < 0.3:
+        return f"{ref} * -1 c{position}"
+    if roll < 0.5:
+        return f"{ref} c{position}"
+    return ref
+
+
+def generate_query(rand: random.Random) -> str:
+    n_uses = rand.randint(1, 4)  # up to a depth-3 join chain
+    uses = rand.sample(ALIASES, n_uses)
+    explicit_joins = rand.random() < 0.5 and n_uses >= 2
+    left_join_tail = rand.random() < 0.3 and n_uses >= 2
+
+    conditions = [
+        _join_condition(rand, uses[i], uses[i + 1])
+        for i in range(n_uses - 1)
+    ]
+    predicates = [_predicate(rand, uses)
+                  for _ in range(rand.randint(0, 2))]
+
+    if explicit_joins:
+        from_sql = f"{uses[0][0]} as {uses[0][1]}"
+        for i in range(1, n_uses):
+            kind = ("left outer join"
+                    if left_join_tail and i == n_uses - 1 else "join")
+            from_sql += (f" {kind} {uses[i][0]} as {uses[i][1]} "
+                         f"on ({conditions[i - 1]})")
+        where = predicates
+    else:
+        from_sql = ", ".join(f"{t} as {a}" for t, a in uses)
+        where = conditions + predicates
+
+    if rand.random() < 0.45:
+        # GROUP BY + aggregates over random argument columns.
+        group_uses = uses[:1] if rand.random() < 0.6 else uses
+        keys = []
+        for _ in range(rand.randint(1, 2)):
+            table, alias = rand.choice(group_uses)
+            key = f"{alias}.{rand.choice(TABLES[table])}"
+            if key not in keys:
+                keys.append(key)
+        items = list(keys) + ["count(*) c"]
+        for position, fn in enumerate(
+                rand.sample(["min", "max", "sum", "avg", "count"],
+                            rand.randint(1, 3))):
+            table, alias = rand.choice(uses)
+            argument = f"{alias}.{rand.choice(TABLES[table])}"
+            if fn == "count" and rand.random() < 0.4:
+                items.append(f"count(distinct {argument}) d{position}")
+            else:
+                items.append(f"{fn}({argument}) f{position}")
+        select_sql = ", ".join(items)
+        tail = f" group by {', '.join(keys)}"
+        distinct = ""
+    else:
+        n_items = rand.randint(1, 4)
+        select_sql = ", ".join(
+            _projection_item(rand, uses, position)
+            for position in range(n_items)
+        )
+        tail = ""
+        distinct = "distinct " if rand.random() < 0.4 else ""
+
+    sql = f"select {distinct}{select_sql} from {from_sql}"
+    if where:
+        sql += f" where {' and '.join(where)}"
+    return sql + tail
+
+
+# ---------------------------------------------------------------------------
+# comparison
+# ---------------------------------------------------------------------------
+
+
+def assert_identical(sql: str, config: str, got, expected) -> None:
+    __tracebackhide__ = True
+    assert got.names == expected.names, (config, sql)
+    assert got.display_names == expected.display_names, (config, sql)
+    for name in expected.names:
+        mine = got.column(name)
+        theirs = expected.column(name)
+        assert mine.sql_type == theirs.sql_type, (config, sql, name)
+        mask_mine = mine.null_mask()
+        mask_theirs = theirs.null_mask()
+        assert np.array_equal(mask_mine, mask_theirs), (config, sql, name)
+        valid = ~mask_theirs
+        assert np.array_equal(mine.values[valid], theirs.values[valid]), \
+            (config, sql, name)
+
+
+def test_differential_fuzz(monkeypatch):
+    import repro.sqlengine.executor as executor_module
+
+    monkeypatch.setattr(executor_module, "PARALLEL_MIN_ROWS", 1)
+    rand = random.Random(FUZZ_SEED)
+    executed = 0
+    engaged = {"chain": 0, "fused": 0, "fused_group": 0, "parallel": 0,
+               "result_cache": 0}
+    while executed < FUZZ_ROUNDS:
+        databases = {
+            "reference": reference_db(),
+            "planned": planned_db(),
+            "parallel": parallel_db(),
+        }
+        for statement in table_statements(rand):
+            for db in databases.values():
+                db.execute(statement)
+        batch_rounds = min(BATCH, FUZZ_ROUNDS - executed)
+        for batch_position in range(batch_rounds):
+            if batch_position == BATCH // 2:
+                for statement in churn_statements(rand):
+                    for db in databases.values():
+                        db.execute(statement)
+            sql = generate_query(rand)
+            reference = databases["reference"].execute(sql).relation
+            for config in ("planned", "parallel"):
+                got = databases[config].execute(sql).relation
+                assert_identical(sql, config, got, reference)
+                # Warm pass: cached template, physical plan, result cache.
+                warm = databases[config].execute(sql).relation
+                assert_identical(sql, f"{config}-warm", warm, reference)
+            executed += 1
+        stats = databases["planned"].stats
+        engaged["chain"] += stats.join_chain_fusions
+        engaged["fused"] += stats.fused_pipelines
+        engaged["fused_group"] += stats.fused_group_pipelines
+        engaged["result_cache"] += stats.subquery_cache_hits
+        engaged["parallel"] += databases["parallel"].stats.parallel_partitions
+        for db in databases.values():
+            db.close()
+    assert executed == FUZZ_ROUNDS
+    # The fuzz run must actually exercise the paths it claims to pin.
+    assert engaged["chain"] > 0
+    assert engaged["fused"] > 0
+    assert engaged["fused_group"] > 0
+    assert engaged["result_cache"] > 0
+    assert engaged["parallel"] > 0
+
+
+def test_fuzz_generator_is_deterministic():
+    """Same seed, same statements — CI reruns must chase the same inputs."""
+    first = random.Random(1234)
+    second = random.Random(1234)
+    for _ in range(25):
+        assert generate_query(first) == generate_query(second)

@@ -299,11 +299,84 @@ def test_result_cache_skips_udf_statements(db):
 def test_result_cache_keys_on_parameters(db):
     db.execute("create table t (v int64)")
     db.execute("insert into t values (1), (2), (3)")
-    # Same template, different parameter: must not cross-serve.
+    # Same template, different parameter: must not cross-serve...
     assert db.execute("select count(*) c from t where v != 1").scalar() == 2
     assert db.execute("select count(*) c from t where v != 2").scalar() == 2
+    assert db.stats.subquery_cache_hits == 0
+    assert db.stats.subquery_cache_misses == 2
+    # ...but both parameterisations now stay warm side by side.
     assert db.execute("select count(*) c from t where v != 1").scalar() == 2
-    assert db.stats.subquery_cache_hits == 0  # one entry per template
+    assert db.execute("select count(*) c from t where v != 2").scalar() == 2
+    assert db.stats.subquery_cache_hits == 2
+    assert db.stats.subquery_cache_misses == 2
+
+
+def test_result_cache_alternating_parameters_all_hit(db):
+    """The thrash case the single-slot cache lost: two parameter sets
+    alternating must miss once each and then hit forever."""
+    db.execute("create table t (v int64)")
+    db.execute("insert into t values (1), (2), (3), (4)")
+    for round_no in range(10):
+        assert db.execute("select count(*) c from t where v < 3").scalar() == 2
+        assert db.execute("select count(*) c from t where v < 4").scalar() == 3
+    assert db.stats.subquery_cache_misses == 2
+    assert db.stats.subquery_cache_hits == 18
+    assert db.stats.subquery_cache_evictions == 0
+
+
+def test_result_cache_capacity_eviction(db):
+    """More live parameterisations than the per-template LRU holds: the
+    oldest entries age out and the eviction counter says so."""
+    from repro.sqlengine.database import RESULT_CACHE_MAX_ENTRIES
+
+    db.execute("create table t (v int64)")
+    db.execute("insert into t values (1)")
+    n_params = RESULT_CACHE_MAX_ENTRIES + 3
+    for k in range(n_params):
+        db.execute(f"select count(*) c from t where v != {k + 10}")
+    assert db.stats.subquery_cache_misses == n_params
+    assert db.stats.subquery_cache_evictions == 3
+    # The newest entries survived; the oldest were evicted and re-miss.
+    db.execute(f"select count(*) c from t where v != {n_params + 9}")
+    assert db.stats.subquery_cache_hits == 1
+    db.execute("select count(*) c from t where v != 10")
+    assert db.stats.subquery_cache_misses == n_params + 1
+
+
+def test_result_cache_ddl_churn_interleaved(db):
+    """Append/rename/drop DDL interleaved with alternating parameters:
+    every mutation moves the fingerprint, so stale entries never serve,
+    and the counters account each transition exactly."""
+    db.execute("create table t (v int64)")
+    db.execute("insert into t values (1), (2)")
+    q_low, q_high = ("select count(*) c from t where v < 2",
+                     "select count(*) c from t where v < 9")
+    assert db.execute(q_low).scalar() == 1
+    assert db.execute(q_high).scalar() == 2
+    assert db.execute(q_low).scalar() == 1
+    assert (db.stats.subquery_cache_hits,
+            db.stats.subquery_cache_misses) == (1, 2)
+    # Append: both entries' fingerprints go stale -> two fresh misses.
+    db.execute("insert into t values (5)")
+    assert db.execute(q_low).scalar() == 1
+    assert db.execute(q_high).scalar() == 3
+    assert (db.stats.subquery_cache_hits,
+            db.stats.subquery_cache_misses) == (1, 4)
+    # Rename away and back: the table keeps uid+version, so the round-trip
+    # serves the warm entries again.
+    db.execute("alter table t rename to t2")
+    db.execute("alter table t2 rename to t")
+    assert db.execute(q_low).scalar() == 1
+    assert (db.stats.subquery_cache_hits,
+            db.stats.subquery_cache_misses) == (2, 4)
+    # Drop and re-create: same name, new uid -> miss, then hit again.
+    db.execute("drop table t")
+    db.execute("create table t (v int64)")
+    db.execute("insert into t values (1)")
+    assert db.execute(q_low).scalar() == 1
+    assert db.execute(q_low).scalar() == 1
+    assert (db.stats.subquery_cache_hits,
+            db.stats.subquery_cache_misses) == (3, 5)
 
 
 def test_result_cache_skips_large_results(db):
@@ -314,8 +387,10 @@ def test_result_cache_skips_large_results(db):
     q = "select v from big"
     assert len(db.execute(q).rows()) == n
     assert len(db.execute(q).rows()) == n
+    # Too large to admit: never served, and every execution counts as a
+    # miss so the hit rate reflects executions the cache failed to save.
     assert db.stats.subquery_cache_hits == 0
-    assert db.stats.subquery_cache_misses == 0
+    assert db.stats.subquery_cache_misses == 2
 
 
 def test_result_cache_can_be_disabled():

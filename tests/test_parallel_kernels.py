@@ -147,18 +147,47 @@ def test_parallel_indexed_probe_large_sparse(n_segments, unique_build):
     assert np.array_equal(reference[1], parallel[1])
 
 
-def test_parallel_indexed_probe_falls_back_on_dense_build():
-    """Dense build-side spans keep the O(n) direct-address kernel."""
-    rng = np.random.default_rng(3)
+@pytest.mark.parametrize("n_segments", [1, 2, 3, 4, 7])
+@pytest.mark.parametrize("unique_build", [True, False])
+def test_parallel_dense_probe_bit_identical(n_segments, unique_build):
+    """Dense build-side spans now chunk the direct-address probe across the
+    pool (an existing index no longer forces single-threaded execution);
+    output must match the single-threaded dense kernel exactly."""
+    pool = SegmentPool(n_segments, max_workers=4)
+    rng = np.random.default_rng(30 * n_segments + unique_build)
     build = rng.permutation(5000)
-    probe = rng.integers(0, 5000, 20_000)
+    if not unique_build:
+        build = np.concatenate([build, build[:700]])
+    probe = np.concatenate([
+        rng.integers(0, 5000, 20_000),
+        rng.integers(-2000, 0, 1_000),   # below-range misses
+        rng.integers(5000, 9000, 1_000),  # above-range misses
+    ])
     left_col, right_col = int_column(probe), int_column(build)
     index = build_key_index(right_col.values)
     note: list = []
-    parallel = parallel_probe_indexed([left_col], [right_col], index, POOL,
+    parallel = parallel_probe_indexed([left_col], [right_col], index, pool,
                                       note)
-    assert note[-1] == "dense"
+    assert note[-1] in ("parallel-dense", "parallel-dense-merge")
+    assert note[-1] == (
+        "parallel-dense" if unique_build else "parallel-dense-merge"
+    )
     reference = join_indices([left_col], [right_col], right_index=index)
+    assert np.array_equal(reference[0], parallel[0])
+    assert np.array_equal(reference[1], parallel[1])
+
+
+def test_parallel_dense_left_probe_bit_identical():
+    rng = np.random.default_rng(4)
+    build = rng.permutation(3000)
+    probe = rng.integers(-500, 3500, 10_000)
+    left_col, right_col = int_column(probe), int_column(build)
+    index = build_key_index(right_col.values)
+    note: list = []
+    reference = left_join_indices([left_col], [right_col], right_index=index)
+    parallel = parallel_left_probe_indexed([left_col], [right_col], index,
+                                           POOL, note)
+    assert note[-1] == "parallel-dense"
     assert np.array_equal(reference[0], parallel[0])
     assert np.array_equal(reference[1], parallel[1])
 
@@ -195,6 +224,33 @@ def test_executor_engages_parallel_indexed_probe(monkeypatch):
     assert on.stats.parallel_indexed_probes > 0
     assert on.stats.index_cache_hits > 0
     assert off.stats.parallel_indexed_probes == 0
+
+
+def test_executor_engages_parallel_dense_probe(monkeypatch):
+    """Dense vertex ids with a warm build-side index: the direct-address
+    probe must chunk across the pool rather than run single-threaded."""
+    import repro.sqlengine.executor as executor_module
+
+    monkeypatch.setattr(executor_module, "PARALLEL_MIN_ROWS", 1)
+    rng = np.random.default_rng(27)
+    n = 4000
+    v1 = rng.integers(0, 300, n)
+    v2 = rng.integers(0, 300, n)
+    rep = rng.integers(0, 300, 300)
+
+    def build(parallel):
+        db = Database(n_segments=4, parallel=parallel)
+        db.load_table("e", {"v1": v1, "v2": v2})
+        db.load_table("r", {"v": np.arange(300, dtype=np.int64),
+                            "rep": rep})
+        db.execute("select r.v, count(*) c from r group by r.v")  # warm index
+        return db
+
+    query = "select e.v2, r.rep from e, r where e.v1 = r.v"
+    on, off = build(True), build(False)
+    assert on.execute(query).rows() == off.execute(query).rows()
+    assert on.stats.parallel_dense_probes > 0
+    assert off.stats.parallel_dense_probes == 0
 
 
 def test_partition_rows_covers_everything_once():

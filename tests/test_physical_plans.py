@@ -25,7 +25,11 @@ from repro.sqlengine.plancache import normalize_statement
 # ---------------------------------------------------------------------------
 
 
-def test_physical_plan_hits_across_table_suffixes(db):
+def test_physical_plan_hits_across_table_suffixes():
+    # Result cache off: the multi-entry result cache now keeps alternating
+    # parameterisations warm, which would serve repeats without touching
+    # the planner — this test counts actual plan executions.
+    db = Database(n_segments=4, use_result_cache=False)
     db.execute("create table g (v1 int64, v2 int64)")
     db.execute("insert into g values (1,2),(2,3),(3,1)")
     db.execute("create table reps1 as select v1 v, min(v2) rep from g "
@@ -548,3 +552,152 @@ def test_rc_fast_variant_round_loop_uses_hash_distinct():
     load_edges_into(db, "edges", edges)
     RandomisedContraction().run(db, "edges", seed=5)
     assert db.stats.hash_distincts > 0
+
+
+# ---------------------------------------------------------------------------
+# join-chain fusion: a join feeding another join's build side streams
+# through composed row-index maps — bit-identical to the staged pipeline
+# ---------------------------------------------------------------------------
+
+
+def _chain_db(use_fusion: bool, middle_empty=False, null_keys=False,
+              empty_build=False) -> Database:
+    """Three tables wired for e ⋈ r ⋈ r chains (the contraction shape)."""
+    db = Database(n_segments=4, use_fusion=use_fusion)
+    rng = np.random.default_rng(9)
+    n = 3000
+    v1 = rng.integers(0, 250, n)
+    v2 = rng.integers(0, 250, n)
+    if middle_empty:
+        v1 = v1 + 10_000  # no key overlaps the reps table: middle join empty
+    db.load_table("e", {"v1": v1, "v2": v2, "w": rng.integers(0, 9, n)},
+                  distributed_by="v1")
+    n_reps = 0 if empty_build else 250
+    db.load_table("r", {
+        "v": np.arange(n_reps, dtype=np.int64),
+        "rep": rng.integers(0, 250, n_reps),
+    }, distributed_by="v")
+    if null_keys:
+        mask_rows = rng.random(n) < 0.3
+        values = np.where(mask_rows, 0, v1)
+        db.execute("create table en (v1 int64, v2 int64)")
+        nullable = ["null" if m else str(v) for m, v in
+                    zip(mask_rows[:60], values[:60])]
+        rows = ", ".join(f"({a}, {b})" for a, b in zip(nullable, v2[:60]))
+        db.execute(f"insert into en values {rows}")
+    return db
+
+
+CHAIN_QUERIES = [
+    # Plain three-table chain, projection only.
+    "select e.w, rv.rep, rw.rep from e, r as rv, r as rw "
+    "where e.v1 = rv.v and e.v2 = rw.v",
+    # Chain feeding the fused DISTINCT (the contraction query itself).
+    "select distinct rv.rep as v1, rw.rep as v2 from e, r as rv, r as rw "
+    "where e.v1 = rv.v and e.v2 = rw.v and rv.rep != rw.rep",
+    # Chain feeding the fused GROUP BY.
+    "select rv.rep g, count(*) c, min(e.w) m from e, r as rv, r as rw "
+    "where e.v1 = rv.v and e.v2 = rw.v group by rv.rep",
+    # Residual predicate over the chained output.
+    "select e.w, rw.rep from e, r as rv, r as rw "
+    "where e.v1 = rv.v and e.v2 = rw.v and rv.rep != rw.rep and e.w > 3",
+]
+
+
+def _assert_chain_matches(query, fused_db, plain_db, expect_chain=True):
+    fused = fused_db.execute(query)
+    plain = plain_db.execute(query)
+    assert fused.names == plain.names
+    assert fused.relation.display_names == plain.relation.display_names
+    assert fused.rows() == plain.rows()  # bit-identical, including order
+    if expect_chain:
+        assert fused_db.stats.join_chain_fusions > 0
+    assert plain_db.stats.join_chain_fusions == 0
+
+
+@pytest.mark.parametrize("query", CHAIN_QUERIES)
+def test_join_chain_matches_staged_pipeline(query):
+    fused_db = _chain_db(True)
+    plain_db = _chain_db(False)
+    _assert_chain_matches(query, fused_db, plain_db)
+
+
+@pytest.mark.parametrize("query", CHAIN_QUERIES)
+def test_join_chain_charges_staged_motion(query, monkeypatch):
+    """The chain's virtual frames charge byte-for-byte the motion the
+    staged (but equally pruned) pipeline charges — the comparison the
+    column-pruning delta of ``use_fusion=False`` would obscure."""
+    from repro.sqlengine import physicalplan
+
+    chained_db = _chain_db(True)
+    original = physicalplan._Compiler.compile_core
+
+    def compile_without_chain(self, core):
+        plan = original(self, core)
+        plan.chain = False
+        return plan
+
+    monkeypatch.setattr(physicalplan._Compiler, "compile_core",
+                        compile_without_chain)
+    staged_db = _chain_db(True)
+    chained = chained_db.execute(query)
+    staged = staged_db.execute(query)
+    assert chained.rows() == staged.rows()
+    assert chained_db.stats.motion_bytes == staged_db.stats.motion_bytes
+
+
+@pytest.mark.parametrize("query", CHAIN_QUERIES)
+def test_join_chain_with_empty_build_side(query):
+    """A chain over an empty build side collapses every downstream step to
+    zero rows without a kernel error on either path."""
+    fused_db = _chain_db(True, empty_build=True)
+    plain_db = _chain_db(False, empty_build=True)
+    _assert_chain_matches(query, fused_db, plain_db)
+    assert fused_db.execute(CHAIN_QUERIES[0]).rowcount == 0
+
+
+@pytest.mark.parametrize("query", CHAIN_QUERIES)
+def test_join_chain_with_zero_row_middle_join(query):
+    """The middle join of the chain matches nothing: every later map is
+    empty and the output is the staged pipeline's empty relation."""
+    fused_db = _chain_db(True, middle_empty=True)
+    plain_db = _chain_db(False, middle_empty=True)
+    _assert_chain_matches(query, fused_db, plain_db)
+    assert fused_db.execute(CHAIN_QUERIES[0]).rowcount == 0
+
+
+def test_join_chain_with_all_null_keys():
+    """NULL join keys never match (SQL semantics); a chain whose first
+    edge runs over a NULL-bearing column must drop exactly the rows the
+    staged pipeline drops."""
+    query = ("select en.v2, rv.rep, rw.rep from en, r as rv, r as rw "
+             "where en.v1 = rv.v and en.v2 = rw.v")
+    fused_db = _chain_db(True, null_keys=True)
+    plain_db = _chain_db(False, null_keys=True)
+    _assert_chain_matches(query, fused_db, plain_db)
+    # All-NULL key column: zero output rows, no kernel error.
+    all_null = ("select rv.rep from en, r as rv where en.v1 = rv.v "
+                "and en.v1 != en.v1")
+    assert fused_db.execute(all_null).rowcount == \
+        plain_db.execute(all_null).rowcount
+
+
+def test_join_chain_followed_by_left_join():
+    """LEFT JOINs ride after the inner chain: the chain materialises once
+    (through composed maps) and the outer join pads it identically."""
+    query = ("select e.w, rv.rep, lj.rep from e join r as rv "
+             "on (e.v1 = rv.v) join r as rw on (e.v2 = rw.v) "
+             "left outer join r as lj on (rv.rep = lj.v)")
+    fused_db = _chain_db(True)
+    plain_db = _chain_db(False)
+    _assert_chain_matches(query, fused_db, plain_db)
+
+
+def test_join_chain_counter_requires_two_joins():
+    """A single join is not a chain — the counter must stay silent."""
+    db = _chain_db(True)
+    db.execute("select e.w, rv.rep from e, r as rv where e.v1 = rv.v")
+    assert db.stats.join_chain_fusions == 0
+    db.execute("select e.w, rv.rep, rw.rep from e, r as rv, r as rw "
+               "where e.v1 = rv.v and e.v2 = rw.v")
+    assert db.stats.join_chain_fusions == 1
