@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-unit fuzz bench bench-quick bench-engine bench-compare clean
+.PHONY: test test-unit fuzz bench bench-quick bench-engine bench-compare \
+	bench-baseline clean
 
 ## tier-1: the full unit + benchmark collection, fail-fast
 test:
@@ -34,6 +35,15 @@ bench-engine:
 bench-compare:
 	$(PYTHON) scripts/bench_compare.py benchmarks/baselines/BENCH_engine.json \
 		benchmarks/results/BENCH_engine.json
+
+## adopt fresh bench-engine results as the committed baseline — run after a
+## PR deliberately moves the numbers or adds metric sections (e.g.
+## left_chain / dataflow), then commit the updated baseline file.  Always
+## re-runs bench-engine so a stale results file can never become the
+## baseline.
+bench-baseline: bench-engine
+	cp benchmarks/results/BENCH_engine.json \
+		benchmarks/baselines/BENCH_engine.json
 
 # benchmarks/results is regenerated scratch output; the committed
 # comparison baseline lives in benchmarks/baselines/ and is never cleaned.

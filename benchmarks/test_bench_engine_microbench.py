@@ -234,7 +234,12 @@ def test_engine_microbench():
     dense_db.close()
     pp_db.close()
 
-    # -- overlapped composition: round i composes while round i+1 contracts
+    # -- dataflow scheduler: the statement-level dependency DAG overlaps
+    # round i's composing CREATE with round i's contraction (and the cheap
+    # retire tasks with the next round), where the old composer held one
+    # background slot.  Labels must stay bit-identical to the serial
+    # schedule, and the dataflow_overlaps counter must prove at least one
+    # genuinely concurrent independent-statement pair per composed round.
     def run_overlap(parallel: bool):
         odb = Database(n_segments=4, parallel=parallel)
         load_edges_into(odb, "edges_ov", warm_edges)
@@ -253,11 +258,27 @@ def test_engine_microbench():
     assert np.array_equal(v_ov, v_se) and np.array_equal(l_ov, l_se)
     assert stats_ov.overlapped_compositions > 0
     assert stats_se.overlapped_compositions == 0
+    # Engagement: every composed round schedules >= 2 independent
+    # statements concurrently (composition ∥ contraction), each recorded
+    # as one overlap; the serial schedule must record none.  This bound
+    # holds deterministically in practice: the contraction is submitted
+    # microseconds after the composing CREATE, which joins the
+    # never-shrinking label table (one row per vertex every round) and so
+    # cannot have finished inside that window.
+    assert stats_ov.dataflow_overlaps >= stats_ov.overlapped_compositions
+    assert stats_se.dataflow_overlaps == 0
     report["overlapped_composition"] = {
         "rounds_overlapped": stats_ov.overlapped_compositions,
         "serial_s": t_serial,
         "overlapped_s": t_overlap,
         "speedup": t_serial / t_overlap,
+    }
+    report["dataflow"] = {
+        "overlaps": stats_ov.dataflow_overlaps,
+        "composed_rounds": stats_ov.overlapped_compositions,
+        "overlaps_per_composed_round":
+            stats_ov.dataflow_overlaps / stats_ov.overlapped_compositions,
+        "serial_overlaps": stats_se.dataflow_overlaps,
     }
 
     # -- fusion: join -> DISTINCT vs the materialising pipeline -----------
@@ -375,6 +396,41 @@ def test_engine_microbench():
         del chain_db, plain_db
     wide_chain = report["join_chain"]["wide"]
     assert wide_chain["chained_s"] <= wide_chain["materialising_s"] * 0.95
+
+    # -- LEFT JOIN inside the chain: chained outer join vs materialising ---
+    # The compose-shaped tail (join -> left outer join -> DISTINCT): the
+    # outer join's null-extended rows ride the composed row maps as a
+    # validity mask instead of materialising the padded intermediate.
+    left_chain_query = (
+        "select distinct rv.rep as v1, lj.rep as v2 from graph2 "
+        "join reps as rv on (graph2.v2 = rv.v) "
+        "left outer join reps as lj on (rv.rep = lj.v)")
+    report["left_chain"] = {"rows": n_fuse}
+    for shape, payload in (("contract", 0), ("wide", 4)):
+        lc_db = fusion_db(True, payload)
+        lp_db = fusion_db(False, payload)
+        chained_rel = lc_db.execute(left_chain_query).relation
+        plain_rel = lp_db.execute(left_chain_query).relation
+        for name_f, name_p in zip(chained_rel.names, plain_rel.names):
+            mine = chained_rel.column(name_f)
+            theirs = plain_rel.column(name_p)
+            assert np.array_equal(mine.null_mask(), theirs.null_mask())
+            valid = ~mine.null_mask()
+            assert np.array_equal(mine.values[valid], theirs.values[valid])
+        t_left_chained = best_of(lambda: lc_db.execute(left_chain_query))
+        t_left_plain = best_of(lambda: lp_db.execute(left_chain_query))
+        assert lc_db.stats.left_chain_fusions > 0
+        assert lp_db.stats.left_chain_fusions == 0
+        report["left_chain"][shape] = {
+            "materialising_s": t_left_plain,
+            "chained_s": t_left_chained,
+            "speedup": t_left_plain / t_left_chained,
+        }
+        lc_db.close()
+        lp_db.close()
+        del lc_db, lp_db
+    wide_left = report["left_chain"]["wide"]
+    assert wide_left["chained_s"] <= wide_left["materialising_s"] * 0.95
 
     # -- hash DISTINCT: unpackable sparse pairs vs the lexsort reference ---
     # Two full-range 64-bit key columns defeat the int-pair packing, which
@@ -594,6 +650,8 @@ def test_engine_microbench():
     fused = report["fused_distinct"]
     fused_g = report["fused_group_by"]
     chain = report["join_chain"]
+    left_chain = report["left_chain"]
+    dataflow = report["dataflow"]
     hashed = report["hash_distinct"]
     rcache = report["result_cache"]
     par = report["parallel"]
@@ -629,6 +687,15 @@ def test_engine_microbench():
         f" {chain['wide']['chained_s'] * 1e3:.1f} ms"
         f" ({chain['wide']['speedup']:.2f}x); contract shape"
         f" {chain['contract']['speedup']:.2f}x",
+        f"  left-join chain 1e6      : wide"
+        f" {left_chain['wide']['materialising_s'] * 1e3:.1f} ms ->"
+        f" {left_chain['wide']['chained_s'] * 1e3:.1f} ms"
+        f" ({left_chain['wide']['speedup']:.2f}x); contract shape"
+        f" {left_chain['contract']['speedup']:.2f}x",
+        f"  dataflow scheduler       : {dataflow['overlaps']} overlapped"
+        f" statement pairs over {dataflow['composed_rounds']} composed"
+        f" rounds ({dataflow['overlaps_per_composed_round']:.1f}/round,"
+        f" serial records {dataflow['serial_overlaps']})",
         f"  hash pair-DISTINCT 1e6   : dup-heavy"
         f" {hashed['duplicate_heavy']['lexsort_s'] * 1e3:.1f} ms ->"
         f" {hashed['duplicate_heavy']['hash_s'] * 1e3:.1f} ms"

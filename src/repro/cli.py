@@ -231,7 +231,8 @@ def render_engine_stats(stats) -> str:
         f"  joins pruned       : {stats.joins_pruned}",
         f"  fused pipelines    : {stats.fused_pipelines} DISTINCT / "
         f"{stats.fused_group_pipelines} GROUP BY / "
-        f"{stats.join_chain_fusions} join chains",
+        f"{stats.join_chain_fusions} join chains "
+        f"({stats.left_chain_fusions} with outer joins)",
         f"  hash DISTINCTs     : {stats.hash_distincts}",
         f"  group sorts skipped: {stats.group_sorts_skipped}",
         f"  parallel partitions: {stats.parallel_partitions}"
@@ -240,7 +241,8 @@ def render_engine_stats(stats) -> str:
         f"  result cache       : {stats.subquery_cache_hits} hits / "
         f"{stats.subquery_cache_misses} misses / "
         f"{stats.subquery_cache_evictions} evicted",
-        f"  overlapped composes: {stats.overlapped_compositions}",
+        f"  overlapped composes: {stats.overlapped_compositions}"
+        f"  (dataflow overlaps {stats.dataflow_overlaps})",
     ]
     return "\n".join(lines)
 

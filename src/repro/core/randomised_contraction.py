@@ -35,7 +35,7 @@ table-strategy methods (random reals)
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -50,67 +50,8 @@ from ..ff.permutation import (
 from ..sqlengine import Database
 from ..sqlengine.errors import ExecutionError
 from .base import SQLConnectedComponents
+from .dataflow import DataflowScheduler
 from .udfs import register_udfs
-
-
-class _OverlappedComposer:
-    """Runs per-round composition statements off the critical path.
-
-    The looping variants (Figure 3 / table-strategy) compose the label
-    table ``L`` with round *i*'s representatives while round *i+1* only
-    needs the contracted edge table — the two statement groups touch
-    disjoint tables and distinct SQL templates.  When the database has a
-    multi-worker :class:`~repro.sqlengine.mpp.SegmentPool`, the composition
-    is submitted to it and the driving thread proceeds straight into the
-    next contraction; compositions stay mutually ordered (at most one in
-    flight), so the label table's contents — and the final labels — are
-    bit-identical to the serial schedule.  Without a pool (or with a
-    single worker) everything runs inline, unchanged.
-
-    Overlap trades peak space for wall clock: round *i*'s label/reps/
-    scratch tables are briefly live alongside round *i+1*'s edge/reps
-    tables, a set the serial schedule never holds at once.  Under a space
-    budget (the bench harness's Table III/IV DNF machinery) that would
-    make budget violations timing-dependent, so a budgeted database always
-    composes inline — its peak-space profile stays the serial one.
-    """
-
-    def __init__(self, db: Database):
-        pool = getattr(db, "pool", None)
-        self._db = db
-        budgeted = db.stats.space_budget_bytes is not None
-        self._pool = (
-            pool if pool is not None and pool.n_workers > 1 and not budgeted
-            else None
-        )
-        self._future = None
-
-    def submit(self, compose: Callable[[], None]) -> None:
-        """Run one round's composition, overlapped when the pool allows.
-
-        Waits for the previous composition first: ``L`` is both an input
-        and the output of every composition, so two can never overlap each
-        other — only the foreground contraction.
-        """
-        self.wait()
-        if self._pool is None:
-            compose()
-            return
-        self._db.stats.record_overlapped_composition()
-        self._future = self._pool.submit(compose)
-
-    def wait(self) -> None:
-        """Drain the in-flight composition, re-raising its error, if any."""
-        if self._future is not None:
-            future, self._future = self._future, None
-            future.result()
-
-    def drain(self) -> None:
-        """Best-effort wait for error paths (the original error wins)."""
-        try:
-            self.wait()
-        except Exception:
-            pass
 
 
 class RandomisedContraction(SQLConnectedComponents):
@@ -282,7 +223,17 @@ class RandomisedContraction(SQLConnectedComponents):
                                  n_hint: int) -> int:
         p = self.prefix
         self._setup_doubled_edges(db, edges_table, f"{p}e")
-        composer = _OverlappedComposer(db)
+        # Statement-level dataflow: per-round representative table names
+        # (``{p}r{N}``) and the composition's own scratch name (``{p}c``)
+        # keep the statement groups' read/write sets disjoint exactly where
+        # the rounds are independent.  The composing CREATE only reads
+        # ``l`` and the round's reps — no hazard with the contraction — so
+        # it is submitted *before* the driver waits on the contract and the
+        # two joins overlap on the pool; only the composition's
+        # drop/rename finish waits for the contract (it retires the reps
+        # table the contract still reads).  The old composer serialised all
+        # of this behind a single in-flight slot.
+        sched = DataflowScheduler(db)
         first_round = True
         rounds = 0
         try:
@@ -290,12 +241,8 @@ class RandomisedContraction(SQLConnectedComponents):
                 rounds += 1
                 self._check_rounds(rounds, n_hint)
                 h = self.method.new_round(rng)
-                # Per-round representative table names decouple round i's
-                # composition (background) from round i+1's contraction
-                # (foreground): the two statement groups touch disjoint
-                # tables, so they can overlap on the segment pool.
                 reps = f"{p}r{rounds}"
-                db.execute(
+                sched.submit([(
                     f"""
                     create table {reps} as
                     select v1 v,
@@ -304,63 +251,109 @@ class RandomisedContraction(SQLConnectedComponents):
                     group by v1
                     distributed by (v)
                     """,
-                    label=f"{self.name}:reps",
-                )
-                row_count = db.execute(
-                    f"""
-                    create table {p}t as
-                    select distinct rv.rep as v1, rw.rep as v2
-                    from {p}e, {reps} as rv, {reps} as rw
-                    where {p}e.v1 = rv.v and {p}e.v2 = rw.v
-                      and rv.rep != rw.rep
-                    distributed by (v1)
-                    """,
-                    label=f"{self.name}:contract",
-                ).rowcount
-                db.execute(f"drop table {p}e")
-                db.execute(f"alter table {p}t rename to {p}e")
-                if first_round:
-                    first_round = False
-                    db.execute(f"alter table {reps} rename to {p}l")
-                else:
-                    composer.submit(
-                        self._compose_statements(db, reps, h.sql_expr("l.rep"))
-                    )
+                    f"{self.name}:reps",
+                )])
+                composing = self._submit_compose(db, sched, first_round, reps,
+                                                 h.sql_expr("l.rep"))
+                row_count = self._run_contract(sched, reps)
+                self._finish_compose(sched, first_round, composing, reps,
+                                     h.sql_expr("l.rep"))
+                first_round = False
                 if row_count == 0:
                     break
-            composer.wait()
+            sched.wait_all()
         except BaseException:
-            composer.drain()
+            sched.drain()
             raise
         db.execute(f"alter table {p}l rename to {result_table}")
         db.execute(f"drop table {p}e")
         return rounds
 
-    def _compose_statements(
-        self, db: Database, reps: str, rep_sql: str
-    ) -> Callable[[], None]:
-        """One round's composition ``L := coalesce(R∘L, h_i∘L)`` as a
-        closure the composer can run inline or on the pool.  Uses its own
-        scratch table name (``{p}c``) so it never collides with the
+    # -- contraction/composition scheduling (shared by the looping
+    # variants) -----------------------------------------------------------
+
+    def _run_contract(self, sched: DataflowScheduler, reps: str) -> int:
+        """Submit one round's contraction group — contract the doubled
+        edge table over the round's representatives, retire the old edges,
+        install the contracted ones — and wait it out; returns the
+        contracted edge count that decides loop exit."""
+        p = self.prefix
+        contract = sched.submit([
+            (
+                f"""
+                create table {p}t as
+                select distinct rv.rep as v1, rw.rep as v2
+                from {p}e, {reps} as rv, {reps} as rw
+                where {p}e.v1 = rv.v and {p}e.v2 = rw.v
+                  and rv.rep != rw.rep
+                distributed by (v1)
+                """,
+                f"{self.name}:contract",
+            ),
+            (f"drop table {p}e", ""),
+            (f"alter table {p}t rename to {p}e", ""),
+        ])
+        return sched.wait(contract)[0].rowcount
+
+    def _compose_create(self, reps: str, rep_sql: str) -> tuple:
+        """The composing statement ``C := coalesce(R∘L, h_i∘L)``: reads
+        only ``l`` and the round's reps, so it can overlap the round's
+        contraction.  Writes its own scratch name (``{p}c``), never the
         foreground round's ``{p}t``."""
         p = self.prefix
+        return (
+            f"""
+            create table {p}c as
+            select l.v as v,
+                   coalesce(r.rep, {rep_sql}) as rep
+            from {p}l as l
+            left outer join {reps} as r on (l.rep = r.v)
+            distributed by (v)
+            """,
+            f"{self.name}:compose",
+        )
 
-        def compose() -> None:
-            db.execute(
-                f"""
-                create table {p}c as
-                select l.v as v,
-                       coalesce(r.rep, {rep_sql}) as rep
-                from {p}l as l
-                left outer join {reps} as r on (l.rep = r.v)
-                distributed by (v)
-                """,
-                label=f"{self.name}:compose",
-            )
-            db.execute(f"drop table {p}l, {reps}")
-            db.execute(f"alter table {p}c rename to {p}l")
+    def _compose_finish(self, reps: str) -> list:
+        """Retire the composed-over tables and install ``C`` as the new
+        ``L``.  Its write set (``l``, ``c``, the reps table) makes the
+        scheduler order it after the composing CREATE *and* after the
+        contraction that still reads the reps table."""
+        p = self.prefix
+        return [
+            (f"drop table {p}l, {reps}", ""),
+            (f"alter table {p}c rename to {p}l", ""),
+        ]
 
-        return compose
+    def _submit_compose(self, db: Database, sched: DataflowScheduler,
+                        first_round: bool, reps: str, rep_sql: str):
+        """Launch round ``i``'s composing CREATE alongside its contraction
+        (asynchronous schedules only).
+
+        Inline schedules keep the serial statement order — composition
+        strictly after the contraction — because a space-budgeted run's
+        peak-space profile (the Table III/IV DNF signal) must stay exactly
+        the serial one, and the budget check fires statement by statement.
+        """
+        if first_round or not sched.asynchronous:
+            return None
+        task = sched.submit([self._compose_create(reps, rep_sql)])
+        db.stats.record_overlapped_composition()
+        return task
+
+    def _finish_compose(self, sched: DataflowScheduler, first_round: bool,
+                        composing, reps: str, rep_sql: str) -> None:
+        """After the contract: install the composed labels (or, in round
+        one, adopt the reps table as the initial ``L``)."""
+        p = self.prefix
+        if first_round:
+            sched.submit([(f"alter table {reps} rename to {p}l", "")])
+        elif composing is not None:
+            sched.submit(self._compose_finish(reps))
+        else:
+            # Inline schedule: the whole composition runs here, after the
+            # contraction, preserving the serial peak-space profile.
+            sched.submit([self._compose_create(reps, rep_sql)]
+                         + self._compose_finish(reps))
 
     # ------------------------------------------------------------------
     # Table-strategy methods (random reals): argmin representatives
@@ -372,13 +365,19 @@ class RandomisedContraction(SQLConnectedComponents):
         p = self.prefix
         self._setup_doubled_edges(db, edges_table, f"{p}e")
         np_rng = np.random.default_rng(rng.getrandbits(63))
-        composer = _OverlappedComposer(db)
+        sched = DataflowScheduler(db)
         first_round = True
         rounds = 0
+        scratch_drop = None
         try:
             while True:
                 rounds += 1
                 self._check_rounds(rounds, n_hint)
+                if scratch_drop is not None:
+                    # The random/scratch tables are re-created outside the
+                    # scheduler (bulk load), so the previous round's
+                    # background drop must land first.
+                    sched.wait(scratch_drop)
                 vertices = np.unique(db.table(f"{p}e").column("v1").values)
                 if vertices.shape[0] == 0:
                     # Degenerate input (empty edge table): nothing to do.
@@ -400,7 +399,11 @@ class RandomisedContraction(SQLConnectedComponents):
                     db.table(f"{p}rand").byte_size(), db.cluster.n_segments
                 )
                 reps = f"{p}r{rounds}"
-                db.execute(
+                # The reps-building pipeline (neigh-min -> closed-min ->
+                # argmin) and the contraction chain after it: the scheduler
+                # serialises them through their table hazards while round
+                # i-1's composition runs alongside.
+                sched.submit([(
                     f"""
                     create table {p}nmin as
                     select e.v1 as v, min(h2.h) as hmin
@@ -409,9 +412,9 @@ class RandomisedContraction(SQLConnectedComponents):
                     group by e.v1
                     distributed by (v)
                     """,
-                    label=f"{self.name}:neigh-min",
-                )
-                db.execute(
+                    f"{self.name}:neigh-min",
+                )])
+                sched.submit([(
                     f"""
                     create table {p}cmin as
                     select m.v as v, least(m.hmin, hv.h) as hmin
@@ -419,9 +422,9 @@ class RandomisedContraction(SQLConnectedComponents):
                     where m.v = hv.v
                     distributed by (v)
                     """,
-                    label=f"{self.name}:closed-min",
-                )
-                db.execute(
+                    f"{self.name}:closed-min",
+                )])
+                sched.submit([(
                     f"""
                     create table {reps} as
                     select mc.v as v, h3.v as rep
@@ -429,34 +432,22 @@ class RandomisedContraction(SQLConnectedComponents):
                     where mc.hmin = h3.h
                     distributed by (v)
                     """,
-                    label=f"{self.name}:argmin",
+                    f"{self.name}:argmin",
+                )])
+                composing = self._submit_compose(db, sched, first_round,
+                                                 reps, "l.rep")
+                row_count = self._run_contract(sched, reps)
+                self._finish_compose(sched, first_round, composing, reps,
+                                     "l.rep")
+                first_round = False
+                scratch_drop = sched.submit(
+                    [(f"drop table {p}rand, {p}nmin, {p}cmin", "")]
                 )
-                row_count = db.execute(
-                    f"""
-                    create table {p}t as
-                    select distinct rv.rep as v1, rw.rep as v2
-                    from {p}e, {reps} as rv, {reps} as rw
-                    where {p}e.v1 = rv.v and {p}e.v2 = rw.v
-                      and rv.rep != rw.rep
-                    distributed by (v1)
-                    """,
-                    label=f"{self.name}:contract",
-                ).rowcount
-                db.execute(f"drop table {p}e")
-                db.execute(f"alter table {p}t rename to {p}e")
-                if first_round:
-                    first_round = False
-                    db.execute(f"alter table {reps} rename to {p}l")
-                else:
-                    composer.submit(
-                        self._compose_statements(db, reps, "l.rep")
-                    )
-                db.execute(f"drop table {p}rand, {p}nmin, {p}cmin")
                 if row_count == 0:
                     break
-            composer.wait()
+            sched.wait_all()
         except BaseException:
-            composer.drain()
+            sched.drain()
             raise
         if not first_round:
             db.execute(f"alter table {p}l rename to {result_table}")

@@ -41,6 +41,10 @@ materialises its output — the executor keeps per-binding row-index maps,
 composes them through each join's output indices, and gathers every
 downstream-consumed column exactly once, whether it is the next join's
 key, a fused DISTINCT/GROUP BY input, or part of the chain-final frame.
+LEFT OUTER JOINs stream inside the chain too: their null-extended probe
+rows ride the composed maps as ``NO_MATCH`` validity markers that only
+materialisation resolves into null masks, so an outer join can sit in any
+chain position — including the fused final.
 
 MPP accounting happens where a real MPP executor would move data: a join or
 aggregation whose input is not already distributed on its key charges a
@@ -216,6 +220,23 @@ class Frame:
         return Frame(columns, self.bindings, int(keep.sum()), self.distribution)
 
 
+def _gather_padded(col: Column, safe_idx: np.ndarray, unmatched: np.ndarray,
+                   build_len: int, out_len: int) -> Column:
+    """Gather one build-side column of a LEFT OUTER JOIN output.
+
+    ``safe_idx`` is the zero-clamped gather map and ``unmatched`` marks the
+    null-extended rows whose markers OR into the null mask; an empty build
+    side pads an all-NULL column of the scanned type.  This is the single
+    definition of outer-join padding — the staged runner and the chain both
+    call it, so their columns are bit-identical by construction.
+    """
+    if build_len == 0:
+        return Column.nulls(out_len, col.sql_type)
+    gathered = col.take(safe_idx)
+    return Column(gathered.values, gathered.sql_type,
+                  gathered.null_mask() | unmatched)
+
+
 class _ChainColumns:
     """Lazy qualified-name → :class:`~repro.sqlengine.types.Column` view of a
     :class:`_JoinChain`: each access gathers that one column through the
@@ -242,30 +263,48 @@ class _JoinChain:
     consumes it: the next join's key, a fused projection, an aggregate
     argument, or the chain-final materialisation.
 
+    LEFT OUTER JOINs stream through the chain too: a binding that entered
+    via an outer join carries ``NO_MATCH`` entries in its row map (one per
+    null-extended probe row).  The validity information composes with the
+    maps for free — later joins gather the ``NO_MATCH`` markers like any
+    other entry — and only materialisation resolves it, gathering through a
+    zero-clamped map and OR-ing the marker positions into the column's null
+    mask, exactly the padded column the staged left-join runner builds.
+
     The chain duck-types the ``Frame`` surface the join-step runner reads —
     ``columns`` (lazy), ``sources``, ``length``, ``distribution`` and
     ``byte_size()`` — so kernel dispatch, index-cache consultation, range
     pruning and motion accounting run the exact code the staged pipeline
-    runs.  ``byte_size()`` reports the size the staged pipeline's frame
-    *would* have had (exact for fixed-width columns, including the gathered
-    null mask; text columns are estimated at their base column's mean row
-    width), keeping the motion counters comparable between the two paths.
+    runs.  ``byte_size()`` reports byte-for-byte the size the staged
+    pipeline's frame would have had: fixed-width columns at width × rows
+    plus the gathered null mask, text columns at their exact per-row byte
+    lengths gathered through the composed map (the base column's row widths
+    are computed once per chain and re-gathered per step).
     """
 
-    __slots__ = ("_frames", "_maps", "_base", "_staged_cols", "columns",
-                 "length", "distribution", "n_joins")
+    __slots__ = ("_frames", "_maps", "_outer", "_gather_cache", "_base",
+                 "_staged_cols", "_text_widths", "columns", "length",
+                 "distribution", "n_joins", "n_outer")
 
     def __init__(self, frame: Frame):
         self._frames: dict[str, Frame] = {b: frame for b in frame.bindings}
         self._maps: dict[str, Optional[np.ndarray]] = {
             b: None for b in frame.bindings
         }
+        #: Bindings whose row map may hold NO_MATCH (joined via LEFT JOIN).
+        self._outer: set[str] = set()
+        #: Per-binding (safe map, invalid mask), computed once per applied
+        #: join and shared by every column gather and byte_size pass.
+        self._gather_cache: dict[str, tuple] = {}
         self._base = frame
         self._staged_cols = list(frame.columns)
+        #: Per-row byte widths of text columns, cached per qualified name.
+        self._text_widths: dict[str, np.ndarray] = {}
         self.columns = _ChainColumns(self)
         self.length = frame.length
         self.distribution = frame.distribution
         self.n_joins = 0
+        self.n_outer = 0
 
     @property
     def sources(self) -> dict:
@@ -274,11 +313,46 @@ class _JoinChain:
         staged pipeline's materialised frames lose provenance too."""
         return self._base.sources if self.n_joins == 0 else {}
 
+    def _gather_state(
+        self, binding: str
+    ) -> tuple[Frame, Optional[np.ndarray], Optional[np.ndarray]]:
+        """(frame, zero-clamped gather map, null-extension mask) for one
+        binding; the mask is ``None`` when every mapped row is valid.
+        Cached per binding until the next applied join."""
+        frame = self._frames[binding]
+        row_map = self._maps[binding]
+        if row_map is None or binding not in self._outer:
+            return frame, row_map, None
+        state = self._gather_cache.get(binding)
+        if state is None:
+            invalid = row_map == NO_MATCH
+            if invalid.any():
+                state = (np.where(invalid, 0, row_map), invalid)
+            else:
+                state = (row_map, None)
+            self._gather_cache[binding] = state
+        return frame, state[0], state[1]
+
     def column(self, qualified: str) -> Column:
         binding = qualified.split(".", 1)[0]
-        col = self._frames[binding].columns[qualified]
-        row_map = self._maps[binding]
-        return col if row_map is None else col.take(row_map)
+        frame, safe_map, invalid = self._gather_state(binding)
+        col = frame.columns[qualified]
+        if invalid is None:
+            return col if safe_map is None else col.take(safe_map)
+        return _gather_padded(col, safe_map, invalid, frame.length,
+                              self.length)
+
+    def _text_row_widths(self, qualified: str, col: Column) -> np.ndarray:
+        """Exact byte length of each base row of a text column (the same
+        per-row charge :meth:`Column.byte_size` sums), cached per chain."""
+        widths = self._text_widths.get(qualified)
+        if widths is None:
+            widths = np.fromiter(
+                (len(str(v)) for v in col.values), dtype=np.int64,
+                count=len(col),
+            )
+            self._text_widths[qualified] = widths
+        return widths
 
     def byte_size(self) -> int:
         if self.n_joins == 0:
@@ -286,34 +360,52 @@ class _JoinChain:
         total = 0
         for qualified in self._staged_cols:
             binding = qualified.split(".", 1)[0]
-            col = self._frames[binding].columns[qualified]
+            frame, safe_map, invalid = self._gather_state(binding)
+            col = frame.columns[qualified]
+            if invalid is not None and frame.length == 0:
+                total += Column.nulls(self.length, col.sql_type).byte_size()
+                continue
             width = _FIXED_WIDTH.get(col.sql_type)
             if width is None:
-                # Text: estimate at the base column's mean row width.
-                total += (col.byte_size() * self.length) // max(len(col), 1)
-                continue
-            total += width * self.length
-            row_map = self._maps[binding]
-            if col.mask is not None and (
-                row_map is None or bool(col.mask[row_map].any())
+                widths = self._text_row_widths(qualified, col)
+                gathered = widths if safe_map is None else widths[safe_map]
+                total += int(gathered.sum()) + self.length
+            else:
+                total += width * self.length
+            if invalid is not None or (
+                col.mask is not None
+                and (safe_map is None or bool(col.mask[safe_map].any()))
             ):
                 total += self.length
         return total
 
     def apply(self, l_idx: np.ndarray, r_idx: np.ndarray, right: Frame,
-              step: JoinStepPlan) -> None:
-        """Fold one executed join step into the chain's row maps."""
+              step, outer: bool = False) -> None:
+        """Fold one executed join step into the chain's row maps.
+
+        ``outer`` marks a LEFT JOIN: ``r_idx`` then carries ``NO_MATCH``
+        for null-extended probe rows, which the right bindings' maps keep
+        as validity markers.  ``l_idx`` always holds valid chain rows, so
+        composing the existing maps needs no special casing — a NO_MATCH
+        already present in an earlier outer binding's map is gathered
+        through like any other entry.
+        """
         for binding, row_map in self._maps.items():
             self._maps[binding] = l_idx if row_map is None else row_map[l_idx]
         for binding in right.bindings:
             self._frames[binding] = right
             self._maps[binding] = r_idx
+            if outer:
+                self._outer.add(binding)
+        self._gather_cache.clear()
         self.length = int(l_idx.shape[0])
         self.distribution = step.out_distribution
         self._staged_cols = list(step.left_gather) + list(step.right_gather)
         self.n_joins += 1
+        if outer:
+            self.n_outer += 1
 
-    def materialise(self, step: JoinStepPlan) -> Frame:
+    def materialise(self, step) -> Frame:
         """The frame the staged pipeline would have produced after ``step``
         — each surviving column gathered once, through the composed map."""
         columns = {
@@ -725,6 +817,13 @@ class Executor:
 
     # -- plan execution: scans, joins, filters -----------------------------
 
+    def _final_right_frame(self, plan: CorePlan, frames: dict) -> Frame:
+        """Build-side frame of the final join a fused runner finishes."""
+        final = plan.final_join
+        if isinstance(final, LeftJoinPlan):
+            return self._scan_frame(final.scan)
+        return frames[final.binding]
+
     def _execute_from(self, plan: CorePlan):
         """Run a core's scan/join pipeline.
 
@@ -732,8 +831,9 @@ class Executor:
         a fused-final plan, the ``(chain, right_frame)`` pair the fused
         runner finishes: the accumulated left side as a :class:`_JoinChain`
         and the final join's build-side frame.  When the plan marks the
-        join pipeline chainable, the inner joins stream through the chain's
-        composed row maps and no intermediate join output is materialised.
+        join pipeline chainable, the joins — inner *and* left outer —
+        stream through the chain's composed row maps and no intermediate
+        join output is materialised.
         """
         if not plan.scans:
             # SELECT without FROM: one anonymous row.
@@ -747,28 +847,39 @@ class Executor:
                     frames[scan.binding], scan.filters
                 )
         fuse_final = plan.fused is not None or self._fuse_group(plan)
-        steps = plan.steps[:-1] if fuse_final else plan.steps
+        steps = list(plan.steps)
+        left_joins = list(plan.left_joins)
+        if fuse_final:
+            # The compiled final join is run by the fused runner, not here.
+            if isinstance(plan.final_join, LeftJoinPlan):
+                left_joins = left_joins[:-1]
+            else:
+                steps = steps[:-1]
         if self.use_fusion and plan.chain:
             # Chainable pipeline: stream every (non-final) join through
             # composed row maps; nothing intermediate is materialised.
             chain = _JoinChain(frames[plan.scans[0].binding])
             for step in steps:
                 self._execute_chain_step(chain, frames[step.binding], step)
+            for left_join in left_joins:
+                self._execute_chain_left_step(chain, left_join)
             if fuse_final:
-                return chain, frames[plan.steps[-1].binding]
+                return chain, self._final_right_frame(plan, frames)
             self._finish_chain(chain)
-            current = chain.materialise(steps[-1])
+            last = left_joins[-1] if left_joins else steps[-1]
+            current = chain.materialise(last)
         else:
             current = frames[plan.scans[0].binding]
             for step in steps:
                 current = self._execute_step(current, frames[step.binding],
                                              step)
+            for left_join in left_joins:
+                current = self._execute_left_join(current, left_join)
             if fuse_final:
                 # Identity chain over the staged frame: the fused runners
                 # work on one surface either way.
-                return _JoinChain(current), frames[plan.steps[-1].binding]
-        for left_join in plan.left_joins:
-            current = self._execute_left_join(current, left_join)
+                return _JoinChain(current), \
+                    self._final_right_frame(plan, frames)
         if plan.residual:
             current = self._apply_filters(current, plan.residual)
         return current
@@ -794,11 +905,24 @@ class Executor:
             l_idx, r_idx = self._join_step_indices(chain, right, step)
         chain.apply(l_idx, r_idx, right, step)
 
+    def _execute_chain_left_step(
+        self, chain: _JoinChain, plan: LeftJoinPlan
+    ) -> None:
+        """Run one LEFT JOIN against the chain: the padded output indices
+        fold into the composed row maps, with the build side's NO_MATCH
+        markers carried as the binding's validity mask."""
+        right = self._scan_frame(plan.scan)
+        l_idx, r_idx = self._left_join_step_indices(chain, right, plan)
+        chain.apply(l_idx, r_idx, right, plan, outer=True)
+
     def _finish_chain(self, chain: _JoinChain) -> None:
         """Telemetry: a chain of >= 2 joins streamed without materialising
-        any intermediate join output."""
+        any intermediate join output (outer joins riding inside count
+        separately)."""
         if chain.n_joins >= 2:
             self.stats.record_join_chain_fusion()
+            if chain.n_outer:
+                self.stats.record_left_chain_fusion()
 
     def _scan_frame(self, scan: ScanPlan) -> Frame:
         binding = scan.binding
@@ -927,8 +1051,13 @@ class Executor:
         })
         return Frame(columns, step.out_bindings, total, frozenset())
 
-    def _execute_left_join(self, left: Frame, plan: LeftJoinPlan) -> Frame:
-        right = self._scan_frame(plan.scan)
+    def _left_join_step_indices(
+        self, left, right: Frame, plan: LeftJoinPlan
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run one LEFT JOIN's kernel (shared by the staged runner, the
+        chain and the fused finals); ``left`` is a Frame or a _JoinChain.
+        Unmatched probe rows surface as ``NO_MATCH`` in the right indices.
+        """
         left_keys = [left.columns[name] for name in plan.left_names]
         right_keys = [right.columns[name] for name in plan.right_names]
         right_index = None
@@ -937,24 +1066,27 @@ class Executor:
                                              build=True)
         self._charge_join_motion(left, plan.left_names)
         self._charge_join_motion(right, plan.right_names)
+        note: list = []
         l_idx, r_idx = self._left_join_kernel(
-            left_keys, right_keys, right_index=right_index
+            left_keys, right_keys, right_index=right_index, note=note
         )
+        if note:
+            plan.kernel = note[-1]
+        return l_idx, r_idx
+
+    def _execute_left_join(self, left: Frame, plan: LeftJoinPlan) -> Frame:
+        right = self._scan_frame(plan.scan)
+        l_idx, r_idx = self._left_join_step_indices(left, right, plan)
+        n_out = int(l_idx.shape[0])
         columns = {
             name: left.columns[name].take(l_idx) for name in plan.left_gather
         }
         unmatched = r_idx == NO_MATCH
         safe_idx = np.where(unmatched, 0, r_idx)
         for name in plan.right_gather:
-            col = right.columns[name]
-            if right.length == 0:
-                gathered = Column.nulls(int(l_idx.shape[0]), col.sql_type)
-            else:
-                gathered = col.take(safe_idx)
-                mask = gathered.null_mask() | unmatched
-                gathered = Column(gathered.values, gathered.sql_type, mask)
-            columns[name] = gathered
-        return Frame(columns, plan.out_bindings, int(l_idx.shape[0]),
+            columns[name] = _gather_padded(right.columns[name], safe_idx,
+                                           unmatched, right.length, n_out)
+        return Frame(columns, plan.out_bindings, n_out,
                      plan.out_distribution)
 
     # -- fused join -> DISTINCT --------------------------------------------
@@ -983,16 +1115,28 @@ class Executor:
             keep &= truth_values(evaluate(predicate, env))
         return None if keep.all() else keep
 
+    def _apply_final_join(
+        self, chain: _JoinChain, right: Frame, plan: CorePlan
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run the fused final join — inner or left outer — and fold it
+        into the chain; returns the kernel's output index pair."""
+        final = plan.final_join
+        if isinstance(final, LeftJoinPlan):
+            l_idx, r_idx = self._left_join_step_indices(chain, right, final)
+            chain.apply(l_idx, r_idx, right, final, outer=True)
+        else:
+            l_idx, r_idx = self._join_step_indices(chain, right, final)
+            chain.apply(l_idx, r_idx, right, final)
+        return l_idx, r_idx
+
     def _run_fused_distinct(self, plan: CorePlan) -> Relation:
         """Run a compiled fused pipeline: final join, residual filter,
         projection and DISTINCT in one pass over only the needed columns.
         The accumulated left side arrives as a :class:`_JoinChain`, so each
         gathered column is materialised once, through the composed maps."""
         chain, right = self._execute_from(plan)
-        step = plan.steps[-1]
         fused = plan.fused
-        l_idx, r_idx = self._join_step_indices(chain, right, step)
-        chain.apply(l_idx, r_idx, right, step)
+        self._apply_final_join(chain, right, plan)
         self._finish_chain(chain)
         columns = {
             name: chain.column(name)
@@ -1051,7 +1195,6 @@ class Executor:
         core = plan.core
         fused = plan.fused_group
         chain, right = self._execute_from(plan)
-        step = plan.steps[-1]
         # Pre-join left state: the grouping runs on it and expands through
         # the join's monotone left indices, so capture it before the final
         # join folds into the chain.
@@ -1061,8 +1204,12 @@ class Executor:
             group_index = self._stored_index(chain, fused.key_quals[0],
                                              build=True)
         n_left = chain.length
-        l_idx, r_idx = self._join_step_indices(chain, right, step)
-        chain.apply(l_idx, r_idx, right, step)
+        l_idx, r_idx = self._apply_final_join(chain, right, plan)
+        # A left-outer final pads unmatched probe rows at the end of the
+        # output (the kernels' shared pad contract); the grouping expansion
+        # slots them behind each group's matched block.
+        unmatched = r_idx == NO_MATCH \
+            if isinstance(plan.final_join, LeftJoinPlan) else None
         self._finish_chain(chain)
         columns = {
             name: chain.column(name)
@@ -1083,6 +1230,8 @@ class Executor:
                 name: col.filter(keep) for name, col in columns.items()
             }
             l_idx = l_idx[keep]
+            if unmatched is not None:
+                unmatched = unmatched[keep]
             n_rows = int(keep.sum())
 
         # Group the left side once (cached-index aware), then expand through
@@ -1090,7 +1239,7 @@ class Executor:
         left_order, left_starts = self._group_kernel(key_columns,
                                                      index=group_index)
         order, starts = _expand_group_order(left_order, left_starts, l_idx,
-                                            n_left)
+                                            n_left, unmatched)
         n_groups = int(starts.shape[0])
         counts = np.diff(np.append(starts, order.shape[0]))
 
@@ -1514,6 +1663,7 @@ def _expand_group_order(
     left_starts: np.ndarray,
     l_idx: np.ndarray,
     n_left: int,
+    unmatched: Optional[np.ndarray] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Expand a left-side grouping through a join's monotone left indices.
 
@@ -1525,20 +1675,66 @@ def _expand_group_order(
     visit left rows in left-grouping order and emit each row's slot range.
     Left rows the join dropped contribute nothing; groups that lose every
     row vanish, like keys that never reach the staged pipeline's frame.
+
+    A left-outer final passes ``unmatched`` (True at null-extended output
+    rows).  The shared pad contract appends those rows — one per matchless
+    left row, ascending — after every matched row, an order any boolean
+    keep-filter preserves.  A stable grouping of the gathered keys then
+    lists, inside each group, the matched slots first (ascending left row)
+    and the null-extended slots after (ascending left row), which is
+    exactly how the expansion interleaves the two streams below.
     """
     total = int(l_idx.shape[0])
     if total == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-    counts = np.bincount(l_idx, minlength=n_left).astype(np.int64, copy=False)
+    if unmatched is None or not unmatched.any():
+        counts = np.bincount(l_idx, minlength=n_left).astype(np.int64,
+                                                             copy=False)
+        slot_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        cnt = counts[left_order]
+        offsets = np.concatenate(([0], np.cumsum(cnt)[:-1]))
+        within = np.arange(total) - np.repeat(offsets, cnt)
+        order = np.repeat(slot_starts[left_order], cnt) + within
+        group_totals = np.add.reduceat(cnt, left_starts)
+        starts = np.concatenate(([0], np.cumsum(group_totals)[:-1]))
+        keep = group_totals > 0
+        return order, starts[keep]
+    matched_l = l_idx[~unmatched]
+    missing_l = l_idx[unmatched]
+    n_inner = int(matched_l.shape[0])
+    n_groups = int(left_starts.shape[0])
+    counts = np.bincount(matched_l, minlength=n_left).astype(np.int64,
+                                                             copy=False)
     slot_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    cnt = counts[left_order]
-    offsets = np.concatenate(([0], np.cumsum(cnt)[:-1]))
-    within = np.arange(total) - np.repeat(offsets, cnt)
-    order = np.repeat(slot_starts[left_order], cnt) + within
-    group_totals = np.add.reduceat(cnt, left_starts)
-    starts = np.concatenate(([0], np.cumsum(group_totals)[:-1]))
-    keep = group_totals > 0
-    return order, starts[keep]
+    # Each matchless left row owns exactly one padded slot, placed after
+    # all matched output in ascending left-row order.
+    miss_counts = np.bincount(missing_l, minlength=n_left).astype(
+        np.int64, copy=False)
+    miss_pos = n_inner + np.cumsum(miss_counts) - miss_counts
+    # Matched stream: matched slot ranges visited in left-grouping order.
+    cnt_m = counts[left_order]
+    off_m = np.concatenate(([0], np.cumsum(cnt_m)[:-1]))
+    within = np.arange(n_inner) - np.repeat(off_m, cnt_m)
+    matched_stream = np.repeat(slot_starts[left_order], cnt_m) + within
+    # Missing stream: padded slots visited in the same left-grouping order.
+    cnt_x = miss_counts[left_order]
+    missing_stream = miss_pos[left_order][cnt_x == 1]
+    # Interleave per group: the matched block, then the missing block.
+    group_m = np.add.reduceat(cnt_m, left_starts)
+    group_x = np.add.reduceat(cnt_x, left_starts)
+    totals = group_m + group_x
+    g_starts = np.concatenate(([0], np.cumsum(totals)[:-1]))
+    order = np.empty(total, dtype=np.int64)
+    g_of_m = np.repeat(np.arange(n_groups), group_m)
+    m_off = np.concatenate(([0], np.cumsum(group_m)[:-1]))
+    order[g_starts[g_of_m] + np.arange(n_inner) - m_off[g_of_m]] = \
+        matched_stream
+    g_of_x = np.repeat(np.arange(n_groups), group_x)
+    x_off = np.concatenate(([0], np.cumsum(group_x)[:-1]))
+    order[g_starts[g_of_x] + group_m[g_of_x]
+          + np.arange(int(missing_stream.shape[0])) - x_off[g_of_x]] = \
+        missing_stream
+    return order, g_starts[totals > 0]
 
 
 def _ranges_disjoint(

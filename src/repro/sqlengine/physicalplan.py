@@ -43,7 +43,10 @@ The compiler also wires in **pipeline fusion** (enabled via ``fuse``):
   streams through composed row-index maps: a join feeding another join's
   build side never materialises its output, and each downstream-consumed
   column is gathered exactly once across the whole chain (see
-  ``_JoinChain`` in the executor).
+  ``_JoinChain`` in the executor).  LEFT OUTER JOINs take part like any
+  other step — their null-extended rows travel as validity markers in the
+  composed maps — so the fused DISTINCT/GROUP BY finals apply to the last
+  join in execution order, outer or inner.
 
 Compiling ``fuse=False`` reproduces the seed's materialising pipeline,
 which the benchmarks use as the comparison baseline and the property tests
@@ -195,7 +198,14 @@ class JoinStepPlan:
 
 @dataclass
 class LeftJoinPlan:
-    """A LEFT OUTER JOIN appended after the inner pipeline."""
+    """A LEFT OUTER JOIN appended after the inner pipeline.
+
+    Shares the join-step surface the executor's chain/fused runners read
+    (``binding``, key names, gather lists, output wiring, ``kernel``
+    telemetry) so an outer join can occupy any chain position — including
+    the fused final — without special-casing; ``cartesian`` is a constant
+    because a LEFT JOIN always has at least one equality edge.
+    """
 
     scan: ScanPlan
     left_names: list[str]
@@ -204,6 +214,9 @@ class LeftJoinPlan:
     right_gather: list[str]
     out_bindings: dict[str, list[str]]
     out_distribution: frozenset[str]
+    binding: str = ""
+    kernel: str = ""  # last kernel strategy the dispatch picked (telemetry)
+    cartesian: bool = False
 
 
 @dataclass
@@ -248,11 +261,11 @@ class FusedGroupPlan:
 class CorePlan:
     """The compiled pipeline of one SELECT core.
 
-    ``chain`` marks a join pipeline of two or more steps compiled with
-    fusion: the executor streams it through composed row-index maps (a
-    join feeding another join's build side never materialises the
-    intermediate — every downstream-consumed column is gathered exactly
-    once, across the whole chain).
+    ``chain`` marks a join pipeline of two or more joins (inner steps plus
+    left outer joins) compiled with fusion: the executor streams it
+    through composed row-index maps (a join feeding another join's build
+    side never materialises the intermediate — every downstream-consumed
+    column is gathered exactly once, across the whole chain).
     """
 
     core: SelectCore
@@ -267,6 +280,10 @@ class CorePlan:
     fused: Optional[FusedDistinctPlan]
     fused_group: Optional[FusedGroupPlan] = None
     chain: bool = False
+    #: The pipeline's final join in execution order (left joins run after
+    #: every inner step) — the operator a fused final fuses.  Compiled
+    #: here so the executor and the compiler can never disagree on it.
+    final_join: object = None
 
 
 @dataclass
@@ -527,20 +544,25 @@ class _Compiler:
             order, qualified_by_output,
         )
 
+        # The pipeline's final join in execution order (left joins run after
+        # every inner step): either a fused final, or the last chain link.
+        final_join = left_plans[-1] if left_plans else (
+            steps[-1] if steps else None
+        )
+
         fused = None
         if (
             self.fuse
             and core.distinct
             and not is_aggregate
-            and steps
-            and not steps[-1].cartesian
-            and not left_plans
+            and final_join is not None
+            and not final_join.cartesian
             and core.items
             and all(isinstance(item.expr, ColumnRef) for item in core.items)
             and needed is not None
         ):
             fused = self._compile_fused(
-                core, steps[-1], all_bindings, residual,
+                core, final_join, all_bindings, residual,
                 out_names, display, out_distribution,
             )
 
@@ -549,17 +571,18 @@ class _Compiler:
             self.fuse
             and is_aggregate
             and core.group_by
-            and steps
-            and not steps[-1].cartesian
-            and not left_plans
+            and final_join is not None
+            and not final_join.cartesian
         ):
             fused_group = self._compile_fused_group(
-                core, steps[-1], all_bindings, residual
+                core, final_join, all_bindings, residual
             )
 
+        n_joins = len(steps) + len(left_plans)
         return CorePlan(core, scans, steps, left_plans, residual,
                         is_aggregate, out_names, display, out_distribution,
-                        fused, fused_group, chain=self.fuse and len(steps) >= 2)
+                        fused, fused_group, chain=self.fuse and n_joins >= 2,
+                        final_join=final_join)
 
     # -- inner / left join steps -----------------------------------------
 
@@ -617,7 +640,7 @@ class _Compiler:
         if residual:
             raise PlanError("non-equality LEFT JOIN conditions are not supported")
         plan = LeftJoinPlan(scan, left_names, right_names, [], [], {},
-                            frozenset(left_names))
+                            frozenset(left_names), binding=binding)
         acc_bindings[binding] = list(scan.columns)
         return plan
 

@@ -57,6 +57,7 @@ class StatsSnapshot:
     fused_pipelines: int = 0
     fused_group_pipelines: int = 0
     join_chain_fusions: int = 0
+    left_chain_fusions: int = 0
     group_sorts_skipped: int = 0
     parallel_partitions: int = 0
     parallel_indexed_probes: int = 0
@@ -66,6 +67,7 @@ class StatsSnapshot:
     subquery_cache_misses: int = 0
     subquery_cache_evictions: int = 0
     overlapped_compositions: int = 0
+    dataflow_overlaps: int = 0
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated since ``earlier`` (peak is the later peak)."""
@@ -92,6 +94,8 @@ class StatsSnapshot:
             - earlier.fused_group_pipelines,
             join_chain_fusions=self.join_chain_fusions
             - earlier.join_chain_fusions,
+            left_chain_fusions=self.left_chain_fusions
+            - earlier.left_chain_fusions,
             group_sorts_skipped=self.group_sorts_skipped
             - earlier.group_sorts_skipped,
             parallel_partitions=self.parallel_partitions
@@ -109,6 +113,8 @@ class StatsSnapshot:
             - earlier.subquery_cache_evictions,
             overlapped_compositions=self.overlapped_compositions
             - earlier.overlapped_compositions,
+            dataflow_overlaps=self.dataflow_overlaps
+            - earlier.dataflow_overlaps,
         )
 
 
@@ -145,6 +151,7 @@ class EngineStats:
         self.fused_pipelines = 0
         self.fused_group_pipelines = 0
         self.join_chain_fusions = 0
+        self.left_chain_fusions = 0
         self.group_sorts_skipped = 0
         self.parallel_partitions = 0
         self.parallel_indexed_probes = 0
@@ -154,6 +161,7 @@ class EngineStats:
         self.subquery_cache_misses = 0
         self.subquery_cache_evictions = 0
         self.overlapped_compositions = 0
+        self.dataflow_overlaps = 0
         self.log: list[QueryRecord] = []
         self._lock = threading.Lock()
         # Per-statement scratch counters, folded into a QueryRecord by the
@@ -268,6 +276,12 @@ class EngineStats:
         maps — no intermediate join output was ever materialised."""
         self._bump("join_chain_fusions")
 
+    def record_left_chain_fusion(self) -> None:
+        """A LEFT OUTER JOIN streamed inside a fused join chain: its
+        null-extended probe rows travelled as a validity mask through the
+        composed row maps instead of materialising a padded frame."""
+        self._bump("left_chain_fusions")
+
     def record_group_sort_skipped(self) -> None:
         """A GROUP BY ran sort-free and gather-free because a cached index
         proved its input pre-sorted on disk."""
@@ -311,6 +325,12 @@ class EngineStats:
         """A contraction round's representative composition executed on the
         segment pool, overlapped with the next round's contraction."""
         self._bump("overlapped_compositions")
+
+    def record_dataflow_overlap(self) -> None:
+        """The dataflow scheduler dispatched a statement group that is
+        independent of — and therefore runs concurrently with — at least
+        one other in-flight statement group."""
+        self._bump("dataflow_overlaps")
 
     # -- statement bracketing -------------------------------------------------
 
@@ -361,6 +381,7 @@ class EngineStats:
             fused_pipelines=self.fused_pipelines,
             fused_group_pipelines=self.fused_group_pipelines,
             join_chain_fusions=self.join_chain_fusions,
+            left_chain_fusions=self.left_chain_fusions,
             group_sorts_skipped=self.group_sorts_skipped,
             parallel_partitions=self.parallel_partitions,
             parallel_indexed_probes=self.parallel_indexed_probes,
@@ -370,6 +391,7 @@ class EngineStats:
             subquery_cache_misses=self.subquery_cache_misses,
             subquery_cache_evictions=self.subquery_cache_evictions,
             overlapped_compositions=self.overlapped_compositions,
+            dataflow_overlaps=self.dataflow_overlaps,
         )
 
     def reset_peak(self) -> None:

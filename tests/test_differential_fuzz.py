@@ -11,8 +11,10 @@ bit-identical output.
 
 This harness generates seeded random SELECT statements (join chains up to
 depth 3, DISTINCT, GROUP BY with aggregates, LEFT OUTER JOIN, negative
-constants, NULL-bearing columns, IS NULL predicates) over small random
-tables, and runs each statement on four configurations:
+constants, NULL-bearing columns, IS NULL predicates, UNION ALL arms, and
+subquery FROM items — plain, aggregated, and UNION ALL subqueries joined
+like tables) over small random tables, and runs each statement on four
+configurations:
 
 * **reference** — every cache, fusion and parallel feature off, with the
   executor's kernels swapped for the retained sort-merge references
@@ -39,6 +41,7 @@ from __future__ import annotations
 
 import os
 import random
+from typing import Optional
 
 import numpy as np
 import pytest
@@ -151,20 +154,67 @@ def churn_statements(rand: random.Random) -> list[str]:
     ]
 
 
+def _table_use(table: str, alias: str) -> tuple:
+    """A FROM use: (positional columns, alias, FROM-clause fragment).
+
+    Position 0 is the join-key-ish column, 1 the value column, 2 the
+    NULL-bearing column — subquery uses expose the same positional shape
+    under renamed columns, so every generation helper works on both.
+    """
+    return (TABLES[table], alias, f"{table} as {alias}")
+
+
+def _subquery_use(rand: random.Random, index: int) -> tuple:
+    """A subquery FROM item, joined and filtered like a table.
+
+    Three inner shapes: a plain renaming projection (with an optional
+    pushable predicate), a GROUP BY aggregation, and a two-arm UNION ALL —
+    each exposing the (key-ish, value-ish, nullable) positional contract.
+    """
+    table = rand.choice(list(TABLES))
+    key, val, nul = TABLES[table]
+    alias = f"sq{index}"
+    roll = rand.random()
+    if roll < 0.3:
+        inner = (f"select {key} a, min({nul}) b, count(*) c "
+                 f"from {table} group by {key}")
+    elif roll < 0.45:
+        other = rand.choice(list(TABLES))
+        okey, oval, onul = TABLES[other]
+        inner = (f"select {key} a, {val} b, {nul} c from {table} "
+                 f"union all select {okey} a, {oval} b, {onul} c "
+                 f"from {other}")
+    elif roll < 0.7:
+        inner = (f"select {key} a, {val} b, {nul} c from {table} "
+                 f"where {val} > {rand.randint(-4, 2)}")
+    else:
+        inner = f"select {key} a, {val} b, {nul} c from {table}"
+    return (("a", "b", "c"), alias, f"({inner}) as {alias}")
+
+
+def _generate_uses(rand: random.Random) -> list[tuple]:
+    n_uses = rand.randint(1, 4)  # up to a depth-3 join chain
+    uses = [_table_use(t, a) for t, a in rand.sample(ALIASES, n_uses)]
+    if rand.random() < 0.25:
+        # Swap one table use for a subquery FROM item.
+        position = rand.randrange(n_uses)
+        uses[position] = _subquery_use(rand, position)
+    return uses
+
+
 def _join_condition(rand: random.Random, left: tuple, right: tuple) -> str:
-    """One equality edge between two (table, alias) uses.  Occasionally
-    joins on the NULL-bearing column, exercising the kernels' NULL-key
-    filtering."""
-    left_cols = TABLES[left[0]]
-    right_cols = TABLES[right[0]]
+    """One equality edge between two FROM uses.  Occasionally joins on the
+    NULL-bearing column, exercising the kernels' NULL-key filtering."""
+    left_cols, left_alias, _ = left
+    right_cols, right_alias, _ = right
     left_col = left_cols[0] if rand.random() < 0.75 else left_cols[2]
     right_col = right_cols[0] if rand.random() < 0.75 else right_cols[2]
-    return f"{left[1]}.{left_col} = {right[1]}.{right_col}"
+    return f"{left_alias}.{left_col} = {right_alias}.{right_col}"
 
 
 def _predicate(rand: random.Random, uses: list[tuple]) -> str:
-    table, alias = rand.choice(uses)
-    column = rand.choice(TABLES[table])
+    columns, alias, _ = rand.choice(uses)
+    column = rand.choice(columns)
     if rand.random() < 0.15:
         negated = "not " if rand.random() < 0.5 else ""
         return f"{alias}.{column} is {negated}null"
@@ -174,8 +224,8 @@ def _predicate(rand: random.Random, uses: list[tuple]) -> str:
 
 def _projection_item(rand: random.Random, uses: list[tuple],
                      position: int) -> str:
-    table, alias = rand.choice(uses)
-    column = rand.choice(TABLES[table])
+    columns, alias, _ = rand.choice(uses)
+    column = rand.choice(columns)
     ref = f"{alias}.{column}"
     roll = rand.random()
     if roll < 0.2:
@@ -188,8 +238,19 @@ def _projection_item(rand: random.Random, uses: list[tuple],
 
 
 def generate_query(rand: random.Random) -> str:
-    n_uses = rand.randint(1, 4)  # up to a depth-3 join chain
-    uses = rand.sample(ALIASES, n_uses)
+    if rand.random() < 0.15:
+        # UNION ALL: two projection cores of identical arity (every fuzz
+        # column is int64, so the arms always concatenate cleanly).
+        n_items = rand.randint(1, 3)
+        return (f"{_generate_core(rand, forced_items=n_items)} union all "
+                f"{_generate_core(rand, forced_items=n_items)}")
+    return _generate_core(rand)
+
+
+def _generate_core(rand: random.Random,
+                   forced_items: Optional[int] = None) -> str:
+    uses = _generate_uses(rand)
+    n_uses = len(uses)
     explicit_joins = rand.random() < 0.5 and n_uses >= 2
     left_join_tail = rand.random() < 0.3 and n_uses >= 2
 
@@ -201,32 +262,31 @@ def generate_query(rand: random.Random) -> str:
                   for _ in range(rand.randint(0, 2))]
 
     if explicit_joins:
-        from_sql = f"{uses[0][0]} as {uses[0][1]}"
+        from_sql = uses[0][2]
         for i in range(1, n_uses):
             kind = ("left outer join"
                     if left_join_tail and i == n_uses - 1 else "join")
-            from_sql += (f" {kind} {uses[i][0]} as {uses[i][1]} "
-                         f"on ({conditions[i - 1]})")
+            from_sql += f" {kind} {uses[i][2]} on ({conditions[i - 1]})"
         where = predicates
     else:
-        from_sql = ", ".join(f"{t} as {a}" for t, a in uses)
+        from_sql = ", ".join(use[2] for use in uses)
         where = conditions + predicates
 
-    if rand.random() < 0.45:
+    if forced_items is None and rand.random() < 0.45:
         # GROUP BY + aggregates over random argument columns.
         group_uses = uses[:1] if rand.random() < 0.6 else uses
         keys = []
         for _ in range(rand.randint(1, 2)):
-            table, alias = rand.choice(group_uses)
-            key = f"{alias}.{rand.choice(TABLES[table])}"
+            columns, alias, _ = rand.choice(group_uses)
+            key = f"{alias}.{rand.choice(columns)}"
             if key not in keys:
                 keys.append(key)
         items = list(keys) + ["count(*) c"]
         for position, fn in enumerate(
                 rand.sample(["min", "max", "sum", "avg", "count"],
                             rand.randint(1, 3))):
-            table, alias = rand.choice(uses)
-            argument = f"{alias}.{rand.choice(TABLES[table])}"
+            columns, alias, _ = rand.choice(uses)
+            argument = f"{alias}.{rand.choice(columns)}"
             if fn == "count" and rand.random() < 0.4:
                 items.append(f"count(distinct {argument}) d{position}")
             else:
@@ -235,7 +295,8 @@ def generate_query(rand: random.Random) -> str:
         tail = f" group by {', '.join(keys)}"
         distinct = ""
     else:
-        n_items = rand.randint(1, 4)
+        n_items = forced_items if forced_items is not None \
+            else rand.randint(1, 4)
         select_sql = ", ".join(
             _projection_item(rand, uses, position)
             for position in range(n_items)
@@ -277,7 +338,8 @@ def test_differential_fuzz(monkeypatch):
     rand = random.Random(FUZZ_SEED)
     executed = 0
     engaged = {"chain": 0, "fused": 0, "fused_group": 0, "parallel": 0,
-               "result_cache": 0}
+               "result_cache": 0, "left_chain": 0}
+    shapes = {"union_all": 0, "subquery_from": 0}
     while executed < FUZZ_ROUNDS:
         databases = {
             "reference": reference_db(),
@@ -294,6 +356,10 @@ def test_differential_fuzz(monkeypatch):
                     for db in databases.values():
                         db.execute(statement)
             sql = generate_query(rand)
+            if " union all " in sql:
+                shapes["union_all"] += 1
+            if "(select" in sql:
+                shapes["subquery_from"] += 1
             reference = databases["reference"].execute(sql).relation
             for config in ("planned", "parallel"):
                 got = databases[config].execute(sql).relation
@@ -304,6 +370,7 @@ def test_differential_fuzz(monkeypatch):
             executed += 1
         stats = databases["planned"].stats
         engaged["chain"] += stats.join_chain_fusions
+        engaged["left_chain"] += stats.left_chain_fusions
         engaged["fused"] += stats.fused_pipelines
         engaged["fused_group"] += stats.fused_group_pipelines
         engaged["result_cache"] += stats.subquery_cache_hits
@@ -313,10 +380,14 @@ def test_differential_fuzz(monkeypatch):
     assert executed == FUZZ_ROUNDS
     # The fuzz run must actually exercise the paths it claims to pin.
     assert engaged["chain"] > 0
+    assert engaged["left_chain"] > 0
     assert engaged["fused"] > 0
     assert engaged["fused_group"] > 0
     assert engaged["result_cache"] > 0
     assert engaged["parallel"] > 0
+    # ... and actually generate the statement shapes it claims to cover.
+    assert shapes["union_all"] > 0
+    assert shapes["subquery_from"] > 0
 
 
 def test_fuzz_generator_is_deterministic():

@@ -626,10 +626,16 @@ def test_join_chain_matches_staged_pipeline(query):
 def test_join_chain_charges_staged_motion(query, monkeypatch):
     """The chain's virtual frames charge byte-for-byte the motion the
     staged (but equally pruned) pipeline charges — the comparison the
-    column-pruning delta of ``use_fusion=False`` would obscure."""
+    column-pruning delta of ``use_fusion=False`` would obscure.
+
+    The chained execution runs *before* the no-chain patch lands (the
+    patch is class-level), and the engagement counters prove each side
+    took its intended path.
+    """
     from repro.sqlengine import physicalplan
 
     chained_db = _chain_db(True)
+    chained = chained_db.execute(query)
     original = physicalplan._Compiler.compile_core
 
     def compile_without_chain(self, core):
@@ -640,9 +646,10 @@ def test_join_chain_charges_staged_motion(query, monkeypatch):
     monkeypatch.setattr(physicalplan._Compiler, "compile_core",
                         compile_without_chain)
     staged_db = _chain_db(True)
-    chained = chained_db.execute(query)
     staged = staged_db.execute(query)
     assert chained.rows() == staged.rows()
+    assert chained_db.stats.join_chain_fusions > 0
+    assert staged_db.stats.join_chain_fusions == 0
     assert chained_db.stats.motion_bytes == staged_db.stats.motion_bytes
 
 
@@ -683,14 +690,17 @@ def test_join_chain_with_all_null_keys():
 
 
 def test_join_chain_followed_by_left_join():
-    """LEFT JOINs ride after the inner chain: the chain materialises once
-    (through composed maps) and the outer join pads it identically."""
+    """LEFT JOINs stream inside the chain: the null-extended probe rows
+    ride the composed maps as a validity mask and only materialisation
+    resolves them — output identical to the staged padded frame."""
     query = ("select e.w, rv.rep, lj.rep from e join r as rv "
              "on (e.v1 = rv.v) join r as rw on (e.v2 = rw.v) "
              "left outer join r as lj on (rv.rep = lj.v)")
     fused_db = _chain_db(True)
     plain_db = _chain_db(False)
     _assert_chain_matches(query, fused_db, plain_db)
+    assert fused_db.stats.left_chain_fusions > 0
+    assert plain_db.stats.left_chain_fusions == 0
 
 
 def test_join_chain_counter_requires_two_joins():
@@ -701,3 +711,155 @@ def test_join_chain_counter_requires_two_joins():
     db.execute("select e.w, rv.rep, rw.rep from e, r as rv, r as rw "
                "where e.v1 = rv.v and e.v2 = rw.v")
     assert db.stats.join_chain_fusions == 1
+
+
+# ---------------------------------------------------------------------------
+# LEFT JOINs streaming inside the chain: edge cases and fused finals
+# ---------------------------------------------------------------------------
+
+
+LEFT_CHAIN_QUERIES = [
+    # Inner step then a LEFT JOIN, projection only.
+    "select e.w, rv.rep, lj.rep from e join r as rv on (e.v1 = rv.v) "
+    "left outer join r as lj on (e.v2 = lj.v)",
+    # LEFT JOIN feeding a second LEFT JOIN (outer build over outer output).
+    "select e.w, a.rep, b.rep from e left join r as a on (e.v1 = a.v) "
+    "left join r as b on (a.rep = b.v)",
+    # LEFT JOIN tail into the fused DISTINCT final.
+    "select distinct rv.rep, lj.rep from e join r as rv on (e.v1 = rv.v) "
+    "left outer join r as lj on (e.v2 = lj.v)",
+    # LEFT JOIN tail into the fused GROUP BY final (keys on the left side;
+    # aggregates over the null-extended build columns).
+    "select rv.rep g, count(*) c, min(lj.rep) m, count(lj.v) k from e "
+    "join r as rv on (e.v1 = rv.v) left join r as lj on (e.v2 = lj.v) "
+    "group by rv.rep",
+    # ... with a residual predicate filtering the padded stream.
+    "select e.v1 g, count(*) c, sum(lj.rep) s from e join r as rv "
+    "on (e.v1 = rv.v) left join r as lj on (e.v2 = lj.v) "
+    "where e.w > 2 group by e.v1",
+]
+
+
+def _assert_left_chain_matches(query, fused_db, plain_db):
+    _assert_chain_matches(query, fused_db, plain_db)
+    assert fused_db.stats.left_chain_fusions > 0
+    assert plain_db.stats.left_chain_fusions == 0
+
+
+@pytest.mark.parametrize("query", LEFT_CHAIN_QUERIES)
+def test_left_join_chain_matches_staged_pipeline(query):
+    _assert_left_chain_matches(query, _chain_db(True), _chain_db(False))
+
+
+@pytest.mark.parametrize("query", LEFT_CHAIN_QUERIES)
+def test_left_join_chain_with_empty_build_side(query):
+    """An empty outer build side pads every probe row with NULLs — the
+    chain must resolve its all-NO_MATCH maps to the staged all-NULL
+    columns without indexing into the empty frame."""
+    fused_db = _chain_db(True, empty_build=True)
+    plain_db = _chain_db(False, empty_build=True)
+    _assert_left_chain_matches(query, fused_db, plain_db)
+
+
+def test_left_join_chain_with_all_null_probe_keys():
+    """NULL probe keys never match (SQL semantics) but — unlike an inner
+    join — their rows survive null-extended; the chain must carry exactly
+    the staged pipeline's masks through both outer joins."""
+    queries = [
+        "select en.v2, rv.rep, lj.rep from en join r as rv "
+        "on (en.v2 = rv.v) left join r as lj on (en.v1 = lj.v)",
+        # All-NULL probe key column via an always-NULL left-join chain.
+        "select en.v1, a.rep, b.rep from en left join r as a "
+        "on (en.v1 = a.v) left join r as b on (en.v1 = b.v)",
+    ]
+    for query in queries:
+        fused_db = _chain_db(True, null_keys=True)
+        plain_db = _chain_db(False, null_keys=True)
+        _assert_left_chain_matches(query, fused_db, plain_db)
+
+
+def test_left_join_chain_motion_matches_staged(monkeypatch):
+    """The chain's virtual frames charge byte-for-byte the motion the
+    staged pipeline charges, null-extension masks included."""
+    from repro.sqlengine import physicalplan
+
+    query = LEFT_CHAIN_QUERIES[1]
+    chained_db = _chain_db(True)
+    chained = chained_db.execute(query)
+    original = physicalplan._Compiler.compile_core
+
+    def compile_without_chain(self, core):
+        plan = original(self, core)
+        plan.chain = False
+        return plan
+
+    monkeypatch.setattr(physicalplan._Compiler, "compile_core",
+                        compile_without_chain)
+    staged_db = _chain_db(True)
+    staged = staged_db.execute(query)
+    assert chained.rows() == staged.rows()
+    assert chained_db.stats.left_chain_fusions > 0
+    assert staged_db.stats.left_chain_fusions == 0
+    assert chained_db.stats.motion_bytes == staged_db.stats.motion_bytes
+
+
+# ---------------------------------------------------------------------------
+# chain motion accounting for text columns: exact per-row bytes
+# ---------------------------------------------------------------------------
+
+
+def _text_chain_db(use_fusion: bool) -> Database:
+    """The e ⋈ r ⋈ r chain with a skewed-width text payload on e: a few
+    very long labels among many short ones, the shape a mean-row-width
+    estimate misprices when the join's row multiplicities correlate with
+    the width."""
+    db = Database(n_segments=4, use_fusion=use_fusion)
+    rng = np.random.default_rng(41)
+    n = 2000
+    v1 = rng.integers(0, 150, n)
+    labels = np.array(["x" * int(w) for w in rng.integers(1, 8, n)],
+                      dtype=object)
+    # Skew: low keys (which join to many reps rows) carry huge labels.
+    labels[v1 < 20] = "the-skewed-extremely-wide-label-" * 8
+    db.load_table("e", {"v1": v1, "v2": rng.integers(0, 150, n),
+                        "lbl": labels}, distributed_by="v1")
+    db.load_table("r", {
+        "v": np.arange(150, dtype=np.int64),
+        "rep": rng.integers(0, 150, 150),
+    }, distributed_by="v")
+    return db
+
+
+TEXT_CHAIN_QUERIES = [
+    "select e.lbl, rv.rep, rw.rep from e, r as rv, r as rw "
+    "where e.v1 = rv.v and e.v2 = rw.v",
+    "select e.lbl, rv.rep, lj.rep from e join r as rv on (e.v1 = rv.v) "
+    "join r as rw on (e.v2 = rw.v) left outer join r as lj "
+    "on (rv.rep = lj.v)",
+]
+
+
+@pytest.mark.parametrize("query", TEXT_CHAIN_QUERIES)
+def test_text_column_chain_motion_is_exact(query, monkeypatch):
+    """Chained and staged pipelines must charge identical motion bytes for
+    text columns: the chain gathers exact per-row byte lengths through its
+    composed maps instead of estimating by mean row width."""
+    from repro.sqlengine import physicalplan
+
+    chained_db = _text_chain_db(True)
+    chained = chained_db.execute(query)
+    original = physicalplan._Compiler.compile_core
+
+    def compile_without_chain(self, core):
+        plan = original(self, core)
+        plan.chain = False
+        return plan
+
+    monkeypatch.setattr(physicalplan._Compiler, "compile_core",
+                        compile_without_chain)
+    staged_db = _text_chain_db(True)
+    staged = staged_db.execute(query)
+    assert chained.rows() == staged.rows()
+    assert chained_db.stats.join_chain_fusions > 0
+    assert staged_db.stats.join_chain_fusions == 0
+    assert chained_db.stats.motion_bytes == staged_db.stats.motion_bytes

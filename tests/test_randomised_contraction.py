@@ -223,19 +223,48 @@ def test_overlapped_composition_bit_identical(method, variant):
 def test_overlapped_composition_waits_out_failures():
     """An error raised by a background composition must surface to the
     caller, not vanish on the worker thread."""
-    from repro.core.randomised_contraction import _OverlappedComposer
+    from repro.core.dataflow import DataflowScheduler
+    from repro.sqlengine.errors import CatalogError
 
     db = Database(n_segments=4, parallel=True)
-    composer = _OverlappedComposer(db)
-
-    def boom():
-        raise RuntimeError("composition failed")
-
-    composer.submit(boom)
-    with pytest.raises(RuntimeError, match="composition failed"):
-        composer.wait()
-    composer.drain()  # idempotent, swallows nothing further
+    sched = DataflowScheduler(db)
+    task = sched.submit(["drop table never_created"])
+    with pytest.raises(CatalogError):
+        sched.wait(task)
+    sched.drain()  # idempotent, swallows nothing further
+    # A broken schedule must refuse further submissions with the original
+    # error rather than silently extending a half-applied plan.
+    with pytest.raises(CatalogError):
+        sched.submit(["drop table never_created_either"])
     db.close()
+
+
+def test_overlapped_rounds_can_outrun_one_composition():
+    """The DAG scheduler runs every composed round's composing CREATE
+    concurrently with that round's contraction — two independent
+    statements overlapping per round, where the old composer held a single
+    background slot.  The dataflow_overlaps counter must record at least
+    one genuinely concurrent pair per composed round (cheap drop/rename
+    tasks may add more, timing permitting).  The per-round bound is safe
+    to assert: the contraction is submitted microseconds after the
+    composing CREATE, which joins the never-shrinking label table and so
+    cannot have finished inside that window."""
+    from repro.graphs import gnm_random_graph
+    edges = gnm_random_graph(600, 1000, np.random.default_rng(21))
+    db = Database(n_segments=4, parallel=True)
+    load_edges_into(db, "edges", edges)
+    RandomisedContraction(variant="deterministic-space").run(db, "edges",
+                                                             seed=6)
+    stats = db.stats.snapshot()
+    assert stats.overlapped_compositions > 0
+    assert stats.dataflow_overlaps >= stats.overlapped_compositions
+    db.close()
+    serial = Database(n_segments=4, parallel=False)
+    load_edges_into(serial, "edges", edges)
+    RandomisedContraction(variant="deterministic-space").run(serial, "edges",
+                                                             seed=6)
+    assert serial.stats.dataflow_overlaps == 0
+    serial.close()
 
 
 def test_overlapped_composition_disabled_under_space_budget():
