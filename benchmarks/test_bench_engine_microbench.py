@@ -281,6 +281,49 @@ def test_engine_microbench():
         "serial_overlaps": stats_se.dataflow_overlaps,
     }
 
+    # -- fast-variant composition chain on the dataflow scheduler ---------
+    # The back-to-front composition loop writes a fresh scratch table per
+    # round, so round k's retire (the drop of the composed-over tables) is
+    # independent of round k-1's composing join and overlaps it on the
+    # pool — the serial driver used to stall on every drop/rename.  Labels
+    # and round counts stay bit-identical, and the warm loop resolves
+    # every statement's effect sets from cached plan templates without a
+    # single scheduler-side parse (effects_cache_hits).
+    def run_fast_chain(parallel: bool):
+        fdb = Database(n_segments=4, parallel=parallel)
+        load_edges_into(fdb, "edges_fc", warm_edges)
+        started = time.perf_counter()
+        result = RandomisedContraction().run(fdb, "edges_fc", seed=31)
+        elapsed = time.perf_counter() - started
+        vertices, labels = result.labels(fdb)
+        order = np.argsort(vertices, kind="stable")
+        stats = fdb.stats.snapshot()
+        fdb.close()
+        return elapsed, vertices[order], labels[order], stats, result.rounds
+
+    t_fast_ov, v_fc, l_fc, stats_fc, rounds_fc = run_fast_chain(True)
+    t_fast_se, v_fs, l_fs, stats_fs, rounds_fs = run_fast_chain(False)
+    assert rounds_fc == rounds_fs
+    assert np.array_equal(v_fc, v_fs) and np.array_equal(l_fc, l_fs)
+    composed_fast = rounds_fc - 1
+    assert composed_fast >= 2  # the graph must actually exercise the chain
+    # Engagement: round k's retire is still in flight when round k-1's
+    # compose is submitted (the composing join over the still-large reps
+    # tables cannot finish inside the submission window), so at least one
+    # concurrent pair per composed round; none on the serial schedule.
+    assert stats_fc.dataflow_overlaps >= composed_fast
+    assert stats_fc.effects_cache_hits > 0
+    assert stats_fs.dataflow_overlaps == 0
+    report["fast_chain"] = {
+        "rounds": rounds_fc,
+        "composed_rounds": composed_fast,
+        "overlaps": stats_fc.dataflow_overlaps,
+        "effects_cache_hits": stats_fc.effects_cache_hits,
+        "serial_s": t_fast_se,
+        "overlapped_s": t_fast_ov,
+        "speedup": t_fast_se / t_fast_ov,
+    }
+
     # -- fusion: join -> DISTINCT vs the materialising pipeline -----------
     # Two shapes at 1e6 rows: the paper's narrow contract query (two
     # columns per table; the saved gathers sit inside allocator noise on
@@ -577,6 +620,48 @@ def test_engine_microbench():
         assert report["parallel"]["aggregate_speedup"] >= 1.5
         assert report["parallel"]["indexed_probe_speedup"] >= 1.3
 
+    # -- UNION ALL arm fan-out on the segment pool -------------------------
+    # Three independent heavy arms (1e6-row GROUP BYs): all but the
+    # driver's share offload as pool tasks, the concatenation keeps exact
+    # arm order, and the offloaded arms' scratch folds back into the
+    # statement's accounting byte-for-byte.
+    def union_db(parallel: bool) -> Database:
+        udb = Database(n_segments=4, parallel=parallel,
+                       use_result_cache=False)
+        urng = np.random.default_rng(23)
+        udb.load_table("u", {
+            "v1": urng.integers(0, n_par // 4, n_par),
+            "v2": urng.integers(0, n_par // 4, n_par),
+        }, distributed_by="v1")
+        return udb
+
+    union_sql = (
+        "select v1 k, count(*) c from u group by v1 "
+        "union all select v2, count(*) from u group by v2 "
+        "union all select v1, max(v2) from u where v2 > 100 group by v1")
+    us_db, up_db = union_db(False), union_db(True)
+    union_expected = us_db.execute(union_sql)
+    union_got = up_db.execute(union_sql)
+    assert union_got.names == union_expected.names
+    assert union_got.rows() == union_expected.rows()  # exact serial concat
+    t_union_serial = best_of(lambda: us_db.execute(union_sql))
+    t_union_parallel = best_of(lambda: up_db.execute(union_sql))
+    assert up_db.stats.union_arm_overlaps > 0
+    assert us_db.stats.union_arm_overlaps == 0
+    assert up_db.stats.motion_bytes == us_db.stats.motion_bytes
+    report["union_fanout"] = {
+        "rows": n_par,
+        "arms": 3,
+        "overlapped_arms": up_db.stats.union_arm_overlaps,
+        "serial_s": t_union_serial,
+        "parallel_s": t_union_parallel,
+        "speedup": t_union_serial / t_union_parallel,
+    }
+    us_db.close()
+    up_db.close()
+    if n_workers >= 4:
+        assert report["union_fanout"]["speedup"] >= 1.05
+
     # -- GROUP BY sort skip over a pre-sorted stored column ----------------
     grng = np.random.default_rng(2)
     group_keys_sorted = np.repeat(np.arange(n_par // 4, dtype=np.int64), 4)
@@ -630,7 +715,11 @@ def test_engine_microbench():
         "speedup": t_off / t_on,
         "plan_cache_hits": stats_on.plan_cache_hits,
         "index_cache_hits": stats_on.index_cache_hits,
+        "effects_cache_hits": stats_on.effects_cache_hits,
     }
+    # The warm round loop must derive its scheduler effect sets from the
+    # plan cache's templates, never re-parsing a statement for hazards.
+    assert stats_on.effects_cache_hits > 0
     # Identical output is a hard guarantee; the wall-clock advantage is
     # asserted with slack for machine noise and reported exactly.
     assert t_on <= t_off * 1.10
@@ -657,6 +746,8 @@ def test_engine_microbench():
     par = report["parallel"]
     skip = report["group_sort_skip"]
     overlap = report["overlapped_composition"]
+    fast_chain = report["fast_chain"]
+    union_fan = report["union_fanout"]
     lines += [
         "",
         f"  plan cache hit rate      : {report['plan_cache']['hit_rate']:.3f}"
@@ -696,6 +787,15 @@ def test_engine_microbench():
         f" statement pairs over {dataflow['composed_rounds']} composed"
         f" rounds ({dataflow['overlaps_per_composed_round']:.1f}/round,"
         f" serial records {dataflow['serial_overlaps']})",
+        f"  fast-variant chain       : {fast_chain['overlaps']} overlaps over"
+        f" {fast_chain['composed_rounds']} composed rounds,"
+        f" {fast_chain['serial_s']:.3f}s -> {fast_chain['overlapped_s']:.3f}s"
+        f" ({fast_chain['speedup']:.2f}x, {fast_chain['effects_cache_hits']}"
+        f" effect-set cache hits, identical labels)",
+        f"  union-arm fan-out 1e6    : {union_fan['serial_s'] * 1e3:.1f} ms ->"
+        f" {union_fan['parallel_s'] * 1e3:.1f} ms"
+        f" ({union_fan['speedup']:.2f}x, {union_fan['overlapped_arms']}"
+        f" offloaded arms, exact serial concat)",
         f"  hash pair-DISTINCT 1e6   : dup-heavy"
         f" {hashed['duplicate_heavy']['lexsort_s'] * 1e3:.1f} ms ->"
         f" {hashed['duplicate_heavy']['hash_s'] * 1e3:.1f} ms"

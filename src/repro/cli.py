@@ -232,7 +232,8 @@ def render_engine_stats(stats) -> str:
         f"  fused pipelines    : {stats.fused_pipelines} DISTINCT / "
         f"{stats.fused_group_pipelines} GROUP BY / "
         f"{stats.join_chain_fusions} join chains "
-        f"({stats.left_chain_fusions} with outer joins)",
+        f"({stats.left_chain_fusions} with outer joins, "
+        f"{stats.fused_outer_groups} outer groups)",
         f"  hash DISTINCTs     : {stats.hash_distincts}",
         f"  group sorts skipped: {stats.group_sorts_skipped}",
         f"  parallel partitions: {stats.parallel_partitions}"
@@ -242,7 +243,9 @@ def render_engine_stats(stats) -> str:
         f"{stats.subquery_cache_misses} misses / "
         f"{stats.subquery_cache_evictions} evicted",
         f"  overlapped composes: {stats.overlapped_compositions}"
-        f"  (dataflow overlaps {stats.dataflow_overlaps})",
+        f"  (dataflow overlaps {stats.dataflow_overlaps}, "
+        f"effect-set cache hits {stats.effects_cache_hits})",
+        f"  union arm overlaps : {stats.union_arm_overlaps}",
     ]
     return "\n".join(lines)
 

@@ -42,12 +42,19 @@ budget** (overlap holds round *i*'s tables alive alongside round *i+1*'s,
 which would make budget violations timing-dependent — the bench harness's
 Table III/IV DNF machinery needs the serial profile).
 
-Effects are derived from a *fresh* parse of each statement rather than
-from the plan cache's template AST: patching a shared template here while
-a worker thread executes a statement of the same template would violate
-the cache's single-occupancy rule.  A small per-scheduler memo keeps the
-repeated statements of the round loop (drops, renames, the fixed-text
-table-strategy statements) parse-free.
+Effects are derived from the plan cache's statement *templates* without
+ever patching a template AST (patching a shared template here while a
+worker thread executes a statement of the same template would violate the
+cache's single-occupancy rule): a template's parameter-independent
+read/write name sets — table names with their ``$k`` digit markers intact
+— are computed once from the verified template's slot list and cached on
+the entry, and each submitted statement instantiates them with its own
+parameters in one cheap regex pass.  A warm round loop therefore derives
+every statement's effect sets with zero parses (counted as
+``effects_cache_hits``); a fresh parse remains only for first-seen
+templates, uncacheable statements, and databases without a plan cache.
+A small per-scheduler memo additionally keeps fixed-text statements
+(drops, renames) free of even the normalisation pass.
 """
 
 from __future__ import annotations
@@ -68,8 +75,9 @@ from ..sqlengine.ast_nodes import (
     TableRef,
     TruncateTable,
 )
+from ..sqlengine.mpp import task_scope
 from ..sqlengine.parser import parse_statement
-from ..sqlengine.plancache import _collect_nodes
+from ..sqlengine.plancache import _MARKER_RE, _collect_nodes
 
 #: How many distinct statement texts the effects memo retains.
 _EFFECTS_MEMO_LIMIT = 256
@@ -100,6 +108,47 @@ def statement_effects(
         writes.add(statement.old.lower())
         writes.add(statement.new.lower())
     return frozenset(reads), frozenset(writes)
+
+
+def _template_effects(entry) -> tuple[tuple, tuple]:
+    """Parameter-independent (reads, writes) name templates of one plan
+    template: tuples of table-name strings that may contain ``$k`` digit
+    markers.  Derived from the *verified* template AST plus its slot list
+    — a parameterised name field's pristine template value lives in the
+    slots (patching rewrites only the node), and a field without a slot is
+    never patched — so no parse and no template mutation is needed.
+    """
+    slot_values = {
+        (id(node), field_name): value
+        for node, field_name, value in entry.slots
+    }
+
+    def field_template(node, field_name: str):
+        return slot_values.get((id(node), field_name),
+                               getattr(node, field_name))
+
+    statement = entry.statement
+    reads = tuple(field_template(node, "name")
+                  for node in entry.table_nodes)
+    writes: list = []
+    if isinstance(statement, (CreateTableAs, CreateTable, InsertValues,
+                              InsertSelect, TruncateTable)):
+        writes.append(field_template(statement, "name"))
+    elif isinstance(statement, DropTable):
+        writes.extend(field_template(statement, "names"))
+    elif isinstance(statement, AlterRename):
+        writes.append(field_template(statement, "old"))
+        writes.append(field_template(statement, "new"))
+    return reads, tuple(writes)
+
+
+def _instantiate_names(templates: tuple, params: list[str]) -> frozenset[str]:
+    """Substitute a statement's parameters into cached name templates."""
+    return frozenset(
+        (_MARKER_RE.sub(lambda m: params[int(m.group(1))], name)
+         if "$" in name else name).lower()
+        for name in templates
+    )
 
 
 class StatementTask:
@@ -161,12 +210,39 @@ class DataflowScheduler:
 
     def _memo_effects(self, sql: str) -> tuple[frozenset[str], frozenset[str]]:
         effects = self._effects.get(sql)
+        if effects is not None:
+            self._db.stats.record_effects_cache_hit()
+            return effects
+        effects = self._template_effects_for(sql)
         if effects is None:
             effects = statement_effects(sql)
-            if len(self._effects) >= _EFFECTS_MEMO_LIMIT:
-                self._effects.clear()
-            self._effects[sql] = effects
+        if len(self._effects) >= _EFFECTS_MEMO_LIMIT:
+            self._effects.clear()
+        self._effects[sql] = effects
         return effects
+
+    def _template_effects_for(
+        self, sql: str
+    ) -> Optional[tuple[frozenset[str], frozenset[str]]]:
+        """Derive effect sets from the plan cache's statement template, or
+        ``None`` when the statement is uncacheable (the caller parses).
+        A pre-existing template — any warm round loop — costs only the
+        normalisation regex plus the marker substitution, no parse."""
+        plans = getattr(self._db, "_plans", None)
+        if plans is None:
+            return None
+        entry, params, pre_existing = plans.template_entry(sql)
+        if entry is None:
+            return None
+        template = entry.effects
+        if template is None:
+            template = _template_effects(entry)
+            entry.effects = template
+        if pre_existing:
+            self._db.stats.record_effects_cache_hit()
+        reads_t, writes_t = template
+        return (_instantiate_names(reads_t, params),
+                _instantiate_names(writes_t, params))
 
     def submit(
         self, statements: list, label: str = ""
@@ -245,9 +321,15 @@ class DataflowScheduler:
             self._pool.submit(self._run_task, task)
 
     def _execute(self, task: StatementTask) -> None:
+        # task_scope marks the statements as pool-task work even when they
+        # run on the driver thread (_help_once, or the serial fallback), so
+        # operators that fan sub-plans out over the pool — the parallel
+        # UNION ALL arms — bail to their serial path instead of blocking a
+        # scheduler slot on nested futures.
         try:
-            for sql, label in task.statements:
-                task.results.append(self._db.execute(sql, label=label))
+            with task_scope():
+                for sql, label in task.statements:
+                    task.results.append(self._db.execute(sql, label=label))
         except BaseException as error:
             task.error = error
 

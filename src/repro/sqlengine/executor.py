@@ -89,7 +89,7 @@ from .expressions import (
     truth_values,
 )
 from .functions import FunctionRegistry
-from .mpp import Cluster, SegmentPool
+from .mpp import Cluster, SegmentPool, in_pool_task, task_scope
 from .operators import (
     NO_MATCH,
     KeyIndex,
@@ -780,19 +780,58 @@ class Executor:
             compiled = compile_statement(select, self.catalog,
                                          fuse=self.use_fusion)
             plan = compiled.select_plan
-        relations = [self._run_core(core_plan) for core_plan in plan.cores]
-        if len(relations) == 1:
-            return relations[0]
+        if len(plan.cores) == 1:
+            return self._run_core(plan.cores[0])
+        # UNION ALL arm arity was validated at compile time
+        # (physicalplan.compile_select), so the arms can fan out freely.
+        relations = self._run_union_arms(plan.cores)
         first = relations[0]
-        for other in relations[1:]:
-            if len(other.names) != len(first.names):
-                raise PlanError("UNION ALL arms have different column counts")
         columns = {}
         for position, name in enumerate(first.names):
             parts = [rel.columns[rel.names[position]] for rel in relations]
             columns[name] = Column.concat(parts)
         return Relation(list(first.names), columns, None,
                         display_names=list(first.display_names))
+
+    def _run_union_arms(self, cores: list[CorePlan]) -> list[Relation]:
+        """Execute UNION ALL arms, overlapping independent arms on the pool.
+
+        The arms of one statement read disjoint pipeline state (shared
+        tables are only read, under the catalog/index locks), so all but
+        the driver's share are offloaded as pool tasks while the driver
+        executes the rest; the results list keeps arm order, so the
+        concatenated relation is bit-identical to the serial loop's.  A
+        thread already running a pool task (a dataflow statement group, a
+        parent UNION arm) executes serially instead: the scheduler's worker
+        reservation keeps one worker free for non-blocking *kernel* chunks,
+        and a nested blocking offload could consume it and deadlock.
+        """
+        pool = self.pool
+        if pool is None or pool.n_workers <= 1 or in_pool_task():
+            return [self._run_core(core) for core in cores]
+        n_offload = min(len(cores) - 1, pool.n_workers - 1)
+        split = len(cores) - n_offload
+        stats = self.stats
+
+        def run_arm(core: CorePlan) -> tuple[Relation, tuple[int, int, int]]:
+            # Sample the worker thread's scratch around the arm so its
+            # bytes/motion re-attribute to the owning statement's record.
+            before = stats.scratch_totals()
+            relation = self._run_core(core)
+            after = stats.scratch_totals()
+            return relation, tuple(
+                now - then for now, then in zip(after, before)
+            )
+
+        futures = [pool.submit(run_arm, core) for core in cores[split:]]
+        with task_scope():
+            relations = [self._run_core(core) for core in cores[:split]]
+        stats.record_union_arm_overlap(len(futures))
+        for future in futures:
+            relation, (d_bytes, d_rows, d_motion) = future.result()
+            stats.fold_scratch(d_bytes, d_rows, d_motion)
+            relations.append(relation)
+        return relations
 
     def _fuse_group(self, plan: CorePlan) -> bool:
         return plan.fused_group is not None and self.monotone_join_output
@@ -1187,30 +1226,43 @@ class Executor:
         and aggregation in one pass over the probe stream.
 
         Only aggregate arguments and residual inputs are gathered at join
-        output size; the grouping order comes from grouping the *pre-join*
-        left side (which can use a stored table's cached index — provenance
-        the staged pipeline loses the moment it materialises the join) and
-        expanding it through the join's monotone left-row indices.
+        output size.  With left-side keys the grouping order comes from
+        grouping the *pre-join* left side (which can use a stored table's
+        cached index — provenance the staged pipeline loses the moment it
+        materialises the join) and expanding it through the join's monotone
+        left-row indices.  With a key on the final right binding
+        (``keys_on_right``) the key columns are gathered once through the
+        join output — a left-outer final resolves its NO_MATCH markers
+        into the keys' null masks, so padded rows land in NULL-key groups
+        — and grouped at output size; either way, no full frame ever
+        materialises.
         """
         core = plan.core
         fused = plan.fused_group
         chain, right = self._execute_from(plan)
-        # Pre-join left state: the grouping runs on it and expands through
-        # the join's monotone left indices, so capture it before the final
-        # join folds into the chain.
-        key_columns = [chain.column(name) for name in fused.key_quals]
+        outer_final = isinstance(plan.final_join, LeftJoinPlan)
+        key_columns: list[Column] = []
         group_index = None
-        if len(fused.key_quals) == 1:
-            group_index = self._stored_index(chain, fused.key_quals[0],
-                                             build=True)
+        if not fused.keys_on_right:
+            # Pre-join left state: the grouping runs on it and expands
+            # through the join's monotone left indices, so capture it
+            # before the final join folds into the chain.
+            key_columns = [chain.column(name) for name in fused.key_quals]
+            if len(fused.key_quals) == 1:
+                group_index = self._stored_index(chain, fused.key_quals[0],
+                                                 build=True)
         n_left = chain.length
         l_idx, r_idx = self._apply_final_join(chain, right, plan)
         # A left-outer final pads unmatched probe rows at the end of the
         # output (the kernels' shared pad contract); the grouping expansion
         # slots them behind each group's matched block.
-        unmatched = r_idx == NO_MATCH \
-            if isinstance(plan.final_join, LeftJoinPlan) else None
+        unmatched = r_idx == NO_MATCH if outer_final else None
         self._finish_chain(chain)
+        if fused.keys_on_right:
+            # Right-side keys exist only in the join output: gather them
+            # through the composed maps (outer padding resolves into the
+            # null masks — _gather_padded, the staged runner's own path).
+            key_columns = [chain.column(name) for name in fused.key_quals]
         columns = {
             name: chain.column(name)
             for name in list(fused.left_gather) + list(fused.right_gather)
@@ -1232,14 +1284,22 @@ class Executor:
             l_idx = l_idx[keep]
             if unmatched is not None:
                 unmatched = unmatched[keep]
+            if fused.keys_on_right:
+                key_columns = [col.filter(keep) for col in key_columns]
             n_rows = int(keep.sum())
 
-        # Group the left side once (cached-index aware), then expand through
-        # the monotone left-row indices of the join output.
-        left_order, left_starts = self._group_kernel(key_columns,
-                                                     index=group_index)
-        order, starts = _expand_group_order(left_order, left_starts, l_idx,
-                                            n_left, unmatched)
+        if fused.keys_on_right:
+            # Group the gathered (padded) key columns at output size — the
+            # exact input the staged pipeline's aggregation groups, so the
+            # stable order is bit-identical by construction.
+            order, starts = self._group_kernel(key_columns)
+        else:
+            # Group the left side once (cached-index aware), then expand
+            # through the monotone left-row indices of the join output.
+            left_order, left_starts = self._group_kernel(key_columns,
+                                                         index=group_index)
+            order, starts = _expand_group_order(left_order, left_starts,
+                                                l_idx, n_left, unmatched)
         n_groups = int(starts.shape[0])
         counts = np.diff(np.append(starts, order.shape[0]))
 
@@ -1247,9 +1307,12 @@ class Executor:
         # materialised frame by group key (gathered columns plus the key
         # columns the fusion never gathers).
         frame_bytes = sum(col.byte_size() for col in columns.values())
-        for column in key_columns:
-            width = column.byte_size() // len(column) if len(column) else 8
-            frame_bytes += width * n_rows
+        if fused.keys_on_right:
+            frame_bytes += sum(col.byte_size() for col in key_columns)
+        else:
+            for column in key_columns:
+                width = column.byte_size() // len(column) if len(column) else 8
+                frame_bytes += width * n_rows
         motion = self.cluster.plan_motion(frame_bytes, n_rows, fused.colocated)
         if motion.kind == "redistribute":
             self.stats.record_redistribution(motion.moved_bytes)
@@ -1270,8 +1333,14 @@ class Executor:
             )
 
         group_refs = list(core.group_by)
-        first_rows = l_idx[order[starts]] if n_groups else \
-            np.empty(0, dtype=np.int64)
+        if n_groups == 0:
+            first_rows = np.empty(0, dtype=np.int64)
+        elif fused.keys_on_right:
+            # Output-size keys: each group's representative row indexes
+            # the gathered key columns directly.
+            first_rows = order[starts]
+        else:
+            first_rows = l_idx[order[starts]]
         group_env_columns: dict[str, Column] = {}
         for qualified, bare, column in zip(fused.key_quals, fused.key_bares,
                                            key_columns):
@@ -1293,6 +1362,8 @@ class Executor:
             names.append(key)
             display.append(name)
         self.stats.record_fused_group_pipeline()
+        if outer_final:
+            self.stats.record_fused_outer_group()
         return Relation(names, out_columns, plan.out_distribution,
                         display_names=display)
 

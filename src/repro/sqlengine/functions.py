@@ -56,7 +56,7 @@ def _least_greatest(args: Sequence[ArgValue], length: int, pick_max: bool) -> Co
         raise ExecutionError("least/greatest need at least one argument")
     sql_type = _common_numeric_type(columns)
     if sql_type == TEXT:
-        raise ExecutionError("least/greatest on text is not supported")
+        return _least_greatest_text(columns, length, pick_max)
     dtype = dtype_for(sql_type)
     extreme = (np.iinfo(np.int64).min if pick_max else np.iinfo(np.int64).max) \
         if sql_type == INT64 else (-np.inf if pick_max else np.inf)
@@ -72,6 +72,39 @@ def _least_greatest(args: Sequence[ArgValue], length: int, pick_max: bool) -> Co
         best = np.maximum(best, values) if pick_max else np.minimum(best, values)
     mask = None if any_valid.all() else ~any_valid
     return Column(best, sql_type, mask)
+
+
+def _least_greatest_text(
+    columns: Sequence[Column], length: int, pick_max: bool
+) -> Column:
+    """Row-wise least/greatest over TEXT columns (lexicographic order,
+    NULLs skipped).  TEXT values live in object arrays that may hold
+    ``None``; the running best is only ever compared against rows where
+    both sides are valid, so no ``None`` comparison can occur."""
+    if any(col.sql_type != TEXT for col in columns):
+        raise ExecutionError(
+            "least/greatest cannot mix text and non-text arguments"
+        )
+    best = np.full(length, None, dtype=object)
+    any_valid = np.zeros(length, dtype=bool)
+    for col in columns:
+        values = col.values
+        valid = ~col.mask if col.mask is not None else None
+        fresh = ~any_valid if valid is None else (valid & ~any_valid)
+        best[fresh] = values[fresh]
+        contested = np.flatnonzero(any_valid if valid is None
+                                   else (valid & any_valid))
+        if contested.size:
+            current = best[contested]
+            challenger = values[contested]
+            take = np.asarray(
+                challenger > current if pick_max else challenger < current,
+                dtype=bool,
+            )
+            best[contested[take]] = challenger[take]
+        any_valid |= fresh
+    mask = None if any_valid.all() else ~any_valid
+    return Column(best, TEXT, mask)
 
 
 def _coalesce(args: Sequence[ArgValue], length: int) -> Column:

@@ -28,6 +28,32 @@ import numpy as np
 
 from .types import Column
 
+#: Thread-local marker for threads currently executing a pool-managed
+#: task (a dataflow statement group, a UNION ALL arm).  Such a thread must
+#: not block on further ``SegmentPool.submit`` futures of its own: the
+#: scheduler's worker reservation guarantees one free worker for *kernel*
+#: fan-out (``map`` chunks, which never block), and a nested blocking
+#: offload could consume it and deadlock the pool.  Consumers check
+#: :func:`in_pool_task` and fall back to inline execution instead.
+_TASK_TLS = threading.local()
+
+
+def in_pool_task() -> bool:
+    """True when the calling thread is inside a pool-managed task."""
+    return getattr(_TASK_TLS, "depth", 0) > 0
+
+
+class task_scope:
+    """Context manager marking the current thread as running a pool task."""
+
+    def __enter__(self) -> "task_scope":
+        _TASK_TLS.depth = getattr(_TASK_TLS, "depth", 0) + 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _TASK_TLS.depth -= 1
+
+
 #: splitmix64 constants, used as the segment-assignment hash.
 _MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
 _MIX_2 = np.uint64(0x94D049BB133111EB)
@@ -110,14 +136,18 @@ class SegmentPool:
         casing.  A task running on a worker may itself call :meth:`map`;
         its partitions are then served by the remaining workers.
         """
+        def run() -> object:
+            with task_scope():
+                return fn(*args)
+
         if self.n_workers <= 1:
             future: Future = Future()
             try:
-                future.set_result(fn(*args))
+                future.set_result(run())
             except BaseException as error:  # propagate via the future
                 future.set_exception(error)
             return future
-        return self._ensure_pool().submit(fn, *args)
+        return self._ensure_pool().submit(run)
 
     def shutdown(self) -> None:
         """Release the worker threads (a later ``map`` re-creates them).

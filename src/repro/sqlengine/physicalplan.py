@@ -239,14 +239,20 @@ class FusedDistinctPlan:
 
 @dataclass
 class FusedGroupPlan:
-    """GROUP BY of left-side keys directly above the final join.
+    """GROUP BY directly above the final join.
 
     The executor runs the final join kernel, gathers only the aggregate
     arguments and residual inputs, and aggregates straight over the probe
-    stream: the grouping order is computed on the *pre-join* left side
-    (cached-index aware, ``n_left`` rows) and expanded through the join's
-    monotone left-row indices, so the joined group-key column is never
-    materialised and never sorted at output size.
+    stream.  When every group key lives on the accumulated left side, the
+    grouping order is computed on the *pre-join* left side (cached-index
+    aware, ``n_left`` rows) and expanded through the join's monotone
+    left-row indices, so the joined group-key column is never materialised
+    and never sorted at output size.  When a key lives on the final join's
+    right (build) binding — ``keys_on_right`` — the key columns are
+    gathered once through the join's output indices instead (a left-outer
+    final resolves its ``NO_MATCH`` markers into the keys' null masks, so
+    padded rows form their own NULL-key groups) and grouped at output
+    size; the rest of the frame still never materialises.
     """
 
     key_quals: list[str]  # qualified group keys, one per GROUP BY expr
@@ -255,6 +261,7 @@ class FusedGroupPlan:
     right_gather: list[str]  # ... and from the right frame
     bare_names: dict[str, str]  # bare name -> qualified, for the row env
     colocated: bool  # group keys lie inside the join output's distribution
+    keys_on_right: bool = False  # a key lives on the final right binding
 
 
 @dataclass
@@ -402,7 +409,18 @@ class _Compiler:
     # -- selects ---------------------------------------------------------
 
     def compile_select(self, select: Select) -> SelectPlan:
-        return SelectPlan(select, [self.compile_core(c) for c in select.cores])
+        cores = [self.compile_core(c) for c in select.cores]
+        if len(cores) > 1:
+            # UNION ALL arity is a static property of the compiled arms;
+            # checking it here means a malformed statement fails before any
+            # arm executes (and before arms fan out on the segment pool).
+            width = len(cores[0].out_names)
+            for other in cores[1:]:
+                if len(other.out_names) != width:
+                    raise PlanError(
+                        "UNION ALL arms have different column counts"
+                    )
+        return SelectPlan(select, cores)
 
     def compile_scan(self, item: FromItem) -> ScanPlan:
         if isinstance(item, TableRef):
@@ -873,11 +891,12 @@ class _Compiler:
         self, core, last_step, all_bindings, residual
     ) -> Optional[FusedGroupPlan]:
         """Compile the fused join->GROUP BY shape, or ``None`` if the core
-        falls outside it (right-side keys, count(distinct), exotic refs —
-        those keep the staged pipeline, including its error reporting)."""
+        falls outside it (count(distinct), exotic refs — those keep the
+        staged pipeline, including its error reporting)."""
         right_binding = last_step.binding
         key_quals: list[str] = []
         key_bares: list[Optional[str]] = []
+        keys_on_right = False
         for expr in core.group_by:
             if not isinstance(expr, ColumnRef):
                 return None
@@ -886,9 +905,10 @@ class _Compiler:
             except PlanError:
                 return None
             if qualified.split(".", 1)[0] == right_binding:
-                # The grouping expansion runs on the (monotone) left side
-                # of the final join; right-side keys stay staged.
-                return None
+                # The key is produced by the final join itself: the runner
+                # gathers it through the join's output indices (padding
+                # included) and groups at output size.
+                keys_on_right = True
             key_quals.append(qualified)
             key_bares.append(expr.name)
         aggregates: list = []
@@ -922,7 +942,8 @@ class _Compiler:
                 bare_names[ref.name] = qualified
         colocated = bool(last_step.out_distribution & set(key_quals))
         return FusedGroupPlan(key_quals, key_bares, left_gather, right_gather,
-                              bare_names, colocated)
+                              bare_names, colocated,
+                              keys_on_right=keys_on_right)
 
 
 def _contains_star(expr) -> bool:

@@ -49,8 +49,15 @@ from .parser import Parser, parse_statement
 #: A digit run qualifies when it is not part of a float or exponent form
 #: (not adjacent to ".", not preceded by "<digit>e") and not followed by
 #: more identifier characters (so mid-identifier digits stay literal).
+#: A unary minus is absorbed into the parameter where it is unambiguous —
+#: directly after "(" or "," (function arguments, VALUES rows), never
+#: where it could be binary subtraction — so the positive and negative
+#: renderings of a randomisation constant normalise to one template
+#: instead of one per sign pattern.
 _NORMALIZE_RE = re.compile(
-    r"('(?:[^']|'')*')|((?<![\d.])(?<![\d.][eE])\d+(?![\w.]))"
+    r"('(?:[^']|'')*')"
+    r"|([(,]\s*)(-\d+)(?![\w.])"
+    r"|((?<![\d.])(?<![\d.][eE])\d+(?![\w.]))"
 )
 
 #: Placeholder markers inside template strings.
@@ -64,7 +71,10 @@ def normalize_statement(sql: str) -> tuple[str, list[str]]:
     def replace(match: re.Match) -> str:
         if match.group(1) is not None:
             return match.group(1)
-        params.append(match.group(2))
+        if match.group(3) is not None:
+            params.append(match.group(3))
+            return f"{match.group(2)}${len(params) - 1}"
+        params.append(match.group(4))
         return f"${len(params) - 1}"
 
     return _NORMALIZE_RE.sub(replace, sql), params
@@ -156,7 +166,7 @@ class _Template:
     """
 
     __slots__ = ("statement", "slots", "physical", "table_nodes", "params",
-                 "cacheable", "results")
+                 "cacheable", "results", "effects")
 
     def __init__(self, statement: Optional[Statement], slots: list):
         self.statement = statement
@@ -164,6 +174,11 @@ class _Template:
         self.physical = None
         self.table_nodes: list = []
         self.cacheable = False
+        #: Parameter-independent (reads, writes) table-name templates, set
+        #: lazily by the dataflow scheduler (see
+        #: :func:`repro.core.dataflow._template_effects`) so warm loops
+        #: derive a statement's effect sets without re-parsing it.
+        self.effects: Optional[tuple] = None
         if statement is not None:
             _collect_nodes(statement, TableRef, self.table_nodes)
             calls: list = []
@@ -261,6 +276,40 @@ class PlanCache:
             # _build leaves the template patched with this statement's
             # params.
             return entry.statement, False, entry
+
+    def template_entry(
+        self, sql: str
+    ) -> tuple[Optional[_Template], list[str], bool]:
+        """The template entry for a statement — WITHOUT patching its AST.
+
+        Returns ``(entry, params, pre_existing)``; ``entry`` is ``None``
+        for uncacheable statements.  Unlike :meth:`entry_for`, an existing
+        entry's AST is left untouched, so this is safe to call while
+        another thread executes a statement of the same template — the
+        dataflow scheduler derives read/write effect sets this way,
+        reading only the slot list's pristine template values and the
+        never-patched constant fields.  A first-seen template is built
+        (and verified) here, paying the one parse its first execution
+        would otherwise have paid; ``pre_existing`` is False in that case.
+        """
+        if "$" in sql or "--" in sql or "/*" in sql:
+            return None, [], False
+        template_sql, params = normalize_statement(sql)
+        with self._lock:
+            entry = self._entries.get(template_sql)
+            if entry is not None:
+                self._entries.move_to_end(template_sql)
+                if entry.statement is None:
+                    return None, params, True
+                return entry, params, True
+            direct = parse_statement(sql)
+            entry = self._build(template_sql, params, direct)
+            self._entries[template_sql] = entry
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            if entry.statement is None:
+                return None, params, False
+            return entry, params, False
 
     def _build(
         self, template_sql: str, params: list[str], direct: Statement

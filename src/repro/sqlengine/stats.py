@@ -68,6 +68,9 @@ class StatsSnapshot:
     subquery_cache_evictions: int = 0
     overlapped_compositions: int = 0
     dataflow_overlaps: int = 0
+    fused_outer_groups: int = 0
+    union_arm_overlaps: int = 0
+    effects_cache_hits: int = 0
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated since ``earlier`` (peak is the later peak)."""
@@ -115,6 +118,12 @@ class StatsSnapshot:
             - earlier.overlapped_compositions,
             dataflow_overlaps=self.dataflow_overlaps
             - earlier.dataflow_overlaps,
+            fused_outer_groups=self.fused_outer_groups
+            - earlier.fused_outer_groups,
+            union_arm_overlaps=self.union_arm_overlaps
+            - earlier.union_arm_overlaps,
+            effects_cache_hits=self.effects_cache_hits
+            - earlier.effects_cache_hits,
         )
 
 
@@ -162,6 +171,9 @@ class EngineStats:
         self.subquery_cache_evictions = 0
         self.overlapped_compositions = 0
         self.dataflow_overlaps = 0
+        self.fused_outer_groups = 0
+        self.union_arm_overlaps = 0
+        self.effects_cache_hits = 0
         self.log: list[QueryRecord] = []
         self._lock = threading.Lock()
         # Per-statement scratch counters, folded into a QueryRecord by the
@@ -332,7 +344,43 @@ class EngineStats:
         one other in-flight statement group."""
         self._bump("dataflow_overlaps")
 
+    def record_fused_outer_group(self) -> None:
+        """A fused join->GROUP BY grouped through a LEFT OUTER final join:
+        null-extended probe rows rode the padded-output contract (or a
+        padded right-side key gather) into their NULL-key groups instead of
+        forcing the materialising fallback."""
+        self._bump("fused_outer_groups")
+
+    def record_union_arm_overlap(self, n_arms: int = 1) -> None:
+        """UNION ALL arms executed concurrently on the segment pool while
+        the driving thread ran the remaining arms; counted per offloaded
+        arm."""
+        self._bump("union_arm_overlaps", n_arms)
+
+    def record_effects_cache_hit(self) -> None:
+        """The dataflow scheduler derived a statement's read/write table
+        sets from a cached plan template instead of a fresh parse."""
+        self._bump("effects_cache_hits")
+
     # -- statement bracketing -------------------------------------------------
+
+    def scratch_totals(self) -> tuple[int, int, int]:
+        """The calling thread's per-statement scratch ``(bytes, rows,
+        motion)`` — sampled around work offloaded to a pool worker so its
+        delta can be folded back into the owning statement's record."""
+        scratch = self._stmt()
+        return (scratch.bytes, scratch.rows, scratch.motion)
+
+    def fold_scratch(self, n_bytes: int, n_rows: int, n_motion: int) -> None:
+        """Fold a worker thread's scratch delta into the calling thread's
+        per-statement scratch.  Worker threads never see
+        :meth:`begin_statement`, so a statement that fans UNION ALL arms
+        out on the pool re-attributes the workers' bytes/motion here —
+        the global totals were already counted under the lock."""
+        scratch = self._stmt()
+        scratch.bytes += n_bytes
+        scratch.rows += n_rows
+        scratch.motion += n_motion
 
     def begin_statement(self) -> None:
         scratch = self._stmt()
@@ -392,6 +440,9 @@ class EngineStats:
             subquery_cache_evictions=self.subquery_cache_evictions,
             overlapped_compositions=self.overlapped_compositions,
             dataflow_overlaps=self.dataflow_overlaps,
+            fused_outer_groups=self.fused_outer_groups,
+            union_arm_overlaps=self.union_arm_overlaps,
+            effects_cache_hits=self.effects_cache_hits,
         )
 
     def reset_peak(self) -> None:

@@ -95,6 +95,12 @@ class Column:
             array = array.astype(dtype_for(sql_type), copy=False)
         else:
             array = array.astype(object, copy=False)
+            if mask is None and array.shape[0]:
+                # Ingested object arrays mark NULL as ``None``; fold that
+                # into the mask so every consumer can trust mask-is-truth.
+                nulls = np.asarray(array == None, dtype=bool)  # noqa: E711
+                if nulls.any():
+                    mask = nulls
         return cls(array, sql_type, mask)
 
     @classmethod

@@ -146,6 +146,89 @@ def test_budget_violation_raises_at_submit():
 
 
 # ---------------------------------------------------------------------------
+# cached effect sets: warm loops derive effects from plan-cache templates
+# ---------------------------------------------------------------------------
+
+
+def test_template_effects_match_fresh_parse():
+    """Template-derived effect sets must agree exactly with a fresh parse
+    for every statement shape the RC drivers schedule."""
+    db = _db()
+    sched = DataflowScheduler(db)
+    statements = [
+        "create table reps7 as select v a from base distributed by (a)",
+        "create table g2 as select b.v from base as b, base as c "
+        "where b.v = c.v",
+        "insert into g2 select v from base",
+        "insert into g2 values (41)",
+        "drop table reps7, g2",
+        "alter table base rename to base2",
+        "truncate table base2",
+        "select count(*) c from base",
+    ]
+    for sql in statements:
+        assert sched._template_effects_for(sql) == statement_effects(sql), sql
+    db.close()
+
+
+def test_warm_loop_effects_skip_scheduler_parses(monkeypatch):
+    """Round N>1 of a templated statement loop derives its effect sets
+    without a single scheduler-side parse, counted as effects_cache_hits
+    (round 1 builds the shared plan-cache template; later rounds only pay
+    the normalisation regex plus the marker substitution)."""
+    import repro.core.dataflow as dataflow_module
+
+    db = _db()
+    sched = DataflowScheduler(db)
+    parses = {"n": 0}
+    original = dataflow_module.parse_statement
+
+    def counting(sql):
+        parses["n"] += 1
+        return original(sql)
+
+    monkeypatch.setattr(dataflow_module, "parse_statement", counting)
+    before = db.stats.snapshot().effects_cache_hits
+    for round_no in range(1, 6):
+        task = sched.submit([
+            f"create table r{round_no} as select v from base "
+            f"where v < {8 * round_no} distributed by (v)"])
+        sched.wait(task)
+    sched.wait_all()
+    assert parses["n"] == 0  # never fell back to statement_effects
+    hits = db.stats.snapshot().effects_cache_hits - before
+    assert hits >= 4  # every warm round after the first is a hit
+    db.close()
+
+
+def test_repeated_statement_text_hits_the_memo():
+    """Byte-identical statement texts (the fixed drops/renames of the
+    round loop) hit the per-scheduler memo without even normalising."""
+    db = _db()
+    sched = DataflowScheduler(db)
+    before = db.stats.snapshot().effects_cache_hits
+    for i in range(3):
+        sched.wait(sched.submit(["create table fix as select v from base",
+                                 "drop table fix"]))
+    sched.wait_all()
+    assert db.stats.snapshot().effects_cache_hits - before >= 4
+    db.close()
+
+
+def test_effects_fall_back_without_plan_cache():
+    """A database without a plan cache still schedules correctly — the
+    scheduler parses each statement for its effect sets instead."""
+    db = Database(n_segments=4, parallel=True, use_plan_cache=False)
+    db.load_table("base", {"v": np.arange(8, dtype=np.int64)},
+                  distributed_by="v")
+    sched = DataflowScheduler(db)
+    sched.wait(sched.submit(["create table t as select v from base"]))
+    sched.wait_all()
+    assert db.table("t").n_rows == 8
+    db.close()
+
+
+# ---------------------------------------------------------------------------
 # error propagation
 # ---------------------------------------------------------------------------
 

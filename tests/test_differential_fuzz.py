@@ -10,11 +10,13 @@ cache all rewrite how a statement executes — and every one of them claims
 bit-identical output.
 
 This harness generates seeded random SELECT statements (join chains up to
-depth 3, DISTINCT, GROUP BY with aggregates, LEFT OUTER JOIN, negative
-constants, NULL-bearing columns, IS NULL predicates, UNION ALL arms, and
-subquery FROM items — plain, aggregated, and UNION ALL subqueries joined
-like tables) over small random tables, and runs each statement on four
-configurations:
+depth 3, DISTINCT, GROUP BY with aggregates, LEFT OUTER JOIN — including
+a dedicated arm grouping on the outer-padded final binding, where padded
+rows must form NULL-key groups — negative constants, NULL-bearing
+columns, IS NULL predicates, UNION ALL arms (fanned out on the parallel
+configuration's pool), and subquery FROM items — plain, aggregated, and
+UNION ALL subqueries joined like tables) over small random tables, and
+runs each statement on four configurations:
 
 * **reference** — every cache, fusion and parallel feature off, with the
   executor's kernels swapped for the retained sort-merge references
@@ -275,6 +277,11 @@ def _generate_core(rand: random.Random,
     if forced_items is None and rand.random() < 0.45:
         # GROUP BY + aggregates over random argument columns.
         group_uses = uses[:1] if rand.random() < 0.6 else uses
+        if explicit_joins and left_join_tail and rand.random() < 0.6:
+            # Dedicated arm: group keys on the outer-padded final binding
+            # — the fused outer-group path, where padded rows must form
+            # their own NULL-key groups on every configuration.
+            group_uses = uses[-1:]
         keys = []
         for _ in range(rand.randint(1, 2)):
             columns, alias, _ = rand.choice(group_uses)
@@ -338,8 +345,9 @@ def test_differential_fuzz(monkeypatch):
     rand = random.Random(FUZZ_SEED)
     executed = 0
     engaged = {"chain": 0, "fused": 0, "fused_group": 0, "parallel": 0,
-               "result_cache": 0, "left_chain": 0}
-    shapes = {"union_all": 0, "subquery_from": 0}
+               "result_cache": 0, "left_chain": 0, "fused_outer": 0,
+               "union_overlap": 0}
+    shapes = {"union_all": 0, "subquery_from": 0, "outer_group": 0}
     while executed < FUZZ_ROUNDS:
         databases = {
             "reference": reference_db(),
@@ -360,6 +368,8 @@ def test_differential_fuzz(monkeypatch):
                 shapes["union_all"] += 1
             if "(select" in sql:
                 shapes["subquery_from"] += 1
+            if "left outer join" in sql and " group by " in sql:
+                shapes["outer_group"] += 1
             reference = databases["reference"].execute(sql).relation
             for config in ("planned", "parallel"):
                 got = databases[config].execute(sql).relation
@@ -373,8 +383,11 @@ def test_differential_fuzz(monkeypatch):
         engaged["left_chain"] += stats.left_chain_fusions
         engaged["fused"] += stats.fused_pipelines
         engaged["fused_group"] += stats.fused_group_pipelines
+        engaged["fused_outer"] += stats.fused_outer_groups
         engaged["result_cache"] += stats.subquery_cache_hits
         engaged["parallel"] += databases["parallel"].stats.parallel_partitions
+        engaged["union_overlap"] += \
+            databases["parallel"].stats.union_arm_overlaps
         for db in databases.values():
             db.close()
     assert executed == FUZZ_ROUNDS
@@ -383,11 +396,14 @@ def test_differential_fuzz(monkeypatch):
     assert engaged["left_chain"] > 0
     assert engaged["fused"] > 0
     assert engaged["fused_group"] > 0
+    assert engaged["fused_outer"] > 0
     assert engaged["result_cache"] > 0
     assert engaged["parallel"] > 0
+    assert engaged["union_overlap"] > 0
     # ... and actually generate the statement shapes it claims to cover.
     assert shapes["union_all"] > 0
     assert shapes["subquery_from"] > 0
+    assert shapes["outer_group"] > 0
 
 
 def test_fuzz_generator_is_deterministic():

@@ -166,6 +166,96 @@ def test_union_all_column_count_mismatch(db):
         db.execute("select v1 from e union all select v1, v2 from e")
 
 
+def test_union_all_arity_checked_before_any_arm_runs(db):
+    """The arity check fires at compile time: no arm executes — not even
+    the well-formed first one — when a later arm's width mismatches."""
+    calls = {"n": 0}
+
+    def probe(values):
+        calls["n"] += 1
+        return values
+
+    db.create_function("probe", probe)
+    with pytest.raises(PlanError, match="UNION ALL"):
+        db.execute("select probe(v1) from e union all select v1, v2 from e")
+    assert calls["n"] == 0
+
+
+_UNION_SQL = ("select v1 a, v2 b from e where v1 != 2 "
+              "union all select v2, v1 from e "
+              "union all select v1 + 10, v2 - 1 from e where v2 > 3")
+
+
+def test_union_all_arms_overlap_on_the_pool():
+    """Independent UNION ALL arms fan out on the segment pool; the output
+    is the exact serial concatenation (arm order preserved), and the
+    per-statement accounting is attributed identically."""
+    def build(parallel):
+        database = Database(n_segments=4, parallel=parallel)
+        rng = np.random.default_rng(17)
+        database.load_table("e", {
+            "v1": rng.integers(0, 40, 500),
+            "v2": rng.integers(0, 40, 500),
+        }, distributed_by="v1")
+        return database
+
+    serial, parallel = build(False), build(True)
+    expected = serial.execute(_UNION_SQL)
+    got = parallel.execute(_UNION_SQL)
+    assert got.names == expected.names
+    assert got.rows() == expected.rows()  # exact order: serial concat
+    assert parallel.stats.union_arm_overlaps > 0
+    assert serial.stats.union_arm_overlaps == 0
+    # Offloaded arms fold their scratch back into the driver's statement.
+    assert parallel.stats.motion_bytes == serial.stats.motion_bytes
+    serial.close()
+    parallel.close()
+
+
+def test_union_arm_error_matches_serial_order():
+    """When an arm fails, the parallel fan-out must surface the same
+    (lowest-index) arm's error the serial execution would."""
+    db = Database(n_segments=4, parallel=True)
+    db.load_table("e", {"v1": np.arange(20, dtype=np.int64),
+                        "v2": np.arange(20, dtype=np.int64)},
+                  distributed_by="v1")
+
+    def boom(values):
+        raise ValueError("arm exploded")
+
+    db.create_function("boom", boom)
+    with pytest.raises(Exception, match="arm exploded"):
+        db.execute("select v1 from e union all select boom(v1) from e "
+                   "union all select v2 from e")
+    db.close()
+
+
+def test_union_arms_inside_pool_tasks_stay_serial():
+    """A UNION ALL executed from inside a pool task (a dataflow-scheduled
+    statement) must not block a worker on nested futures — the in-task
+    guard keeps it serial and deadlock-free.  Nested UNION subqueries in
+    a fanned-out arm take the same serial path."""
+    from repro.core.dataflow import DataflowScheduler
+
+    db = Database(n_segments=2, parallel=True)  # a single offload slot
+    db.load_table("e", {"v1": np.arange(50, dtype=np.int64),
+                        "v2": np.arange(50, dtype=np.int64)},
+                  distributed_by="v1")
+    sched = DataflowScheduler(db)
+    task = sched.submit([
+        "create table u as select v1 a from e union all select v2 from e"])
+    sched.wait(task)
+    sched.wait_all()
+    assert db.table("u").n_rows == 100
+    # A UNION subquery inside a UNION arm: the outer arms may fan out,
+    # the nested one stays serial; either way it completes correctly.
+    rows = db.execute(
+        "select s.a from (select v1 a from e union all select v2 a from e) "
+        "as s union all select v1 from e").rowcount
+    assert rows == 150
+    db.close()
+
+
 def test_subquery_in_from(db):
     rows = db.execute(
         """

@@ -98,6 +98,38 @@ def test_least_ignores_nulls(db):
     assert rows[3] == 3
 
 
+def test_least_greatest_text():
+    db = Database()
+    assert db.execute("select least('pear', 'apple', 'kiwi')").scalar() \
+        == "apple"
+    assert db.execute("select greatest('pear', 'apple', 'kiwi')").scalar() \
+        == "pear"
+
+
+def test_least_greatest_text_columns(db):
+    rows = dict(db.execute("select a, least(s, 'y') from t").rows())
+    assert rows == {1: "x", 2: "y", 3: "y"}
+    rows = dict(db.execute("select a, greatest(s, 'y') from t").rows())
+    assert rows == {1: "y", 2: "y", 3: "z"}
+
+
+def test_least_greatest_text_skips_nulls(db):
+    # PostgreSQL semantics: NULL arguments are ignored, not propagated;
+    # the result is NULL only when every argument is NULL.
+    db.execute("create table txt (a text, b text)")
+    db.execute("insert into txt values ('m', null), (null, 'q'), "
+               "(null, null), ('a', 'b')")
+    rows = db.execute("select least(a, b), greatest(a, b) from txt").rows()
+    assert rows == [("m", "m"), ("q", "q"), (None, None), ("a", "b")]
+
+
+def test_least_greatest_mixed_text_numeric_raises(db):
+    with pytest.raises(ExecutionError, match="mix"):
+        db.execute("select least(s, a) from t")
+    with pytest.raises(ExecutionError, match="mix"):
+        db.execute("select greatest(s, 1) from t")
+
+
 def test_coalesce(db):
     rows = dict(db.execute("select a, coalesce(b, -1) from t").rows())
     assert rows == {1: 10, 2: -1, 3: 30}

@@ -302,10 +302,33 @@ def test_fused_group_by_matches_materialising_pipeline(query):
     assert plain_db.stats.fused_group_pipelines == 0
 
 
-NOT_FUSABLE_GROUP_QUERIES = [
-    # Right-side group key: the probe-stream expansion does not apply.
+RIGHT_KEY_GROUP_QUERIES = [
+    # The key is produced by the final join itself: gathered once through
+    # the join's output indices, grouped at output size.
     "select r2.v, count(*) c from graph2, reps as r2 "
     "where graph2.v2 = r2.v group by r2.v",
+    "select r2.rep g, count(*) c, min(graph2.v1) m from graph2, reps as r2 "
+    "where graph2.v2 = r2.v group by r2.rep",
+    # Mixed: one key on the probe side, one on the build side.
+    "select v1, r2.rep, count(*) c from graph2, reps as r2 "
+    "where graph2.v2 = r2.v group by v1, r2.rep",
+]
+
+
+@pytest.mark.parametrize("query", RIGHT_KEY_GROUP_QUERIES)
+def test_right_side_group_keys_fuse(query):
+    fused_db = _two_table_db(use_fusion=True)
+    plain_db = _two_table_db(use_fusion=False)
+    fused = fused_db.execute(query)
+    plain = plain_db.execute(query)
+    assert fused.names == plain.names
+    assert fused.rows() == plain.rows()  # bit-identical, including order
+    assert fused_db.stats.fused_group_pipelines > 0
+    assert fused_db.stats.fused_outer_groups == 0  # inner final join
+    assert plain_db.stats.fused_group_pipelines == 0
+
+
+NOT_FUSABLE_GROUP_QUERIES = [
     # count(distinct) needs row-level key columns.
     "select v1, count(distinct r2.rep) c from graph2, reps as r2 "
     "where graph2.v2 = r2.v group by v1",
@@ -837,6 +860,92 @@ TEXT_CHAIN_QUERIES = [
     "join r as rw on (e.v2 = rw.v) left outer join r as lj "
     "on (rv.rep = lj.v)",
 ]
+
+
+# ---------------------------------------------------------------------------
+# fused GROUP BY through outer padding: group keys on the padded (right)
+# binding of a left-outer final join — padded rows form NULL-key groups
+# ---------------------------------------------------------------------------
+
+
+OUTER_GROUP_QUERIES = [
+    # Single LEFT JOIN straight into GROUP BY on the padded binding (the
+    # shape that previously fell back to materialisation).
+    "select lj.rep g, count(*) c, min(e.w) m from e "
+    "left join r as lj on (e.v2 = lj.v) group by lj.rep",
+    # LEFT JOIN tail of an inner chain, keyed on the padded binding.
+    "select lj.rep g, count(*) c, sum(e.w) s from e join r as rv "
+    "on (e.v1 = rv.v) left join r as lj on (e.v2 = lj.v) group by lj.rep",
+    # Multi-key: padded-binding key alongside a probe-side key.
+    "select lj.v a, e.w b, count(*) c from e join r as rv "
+    "on (e.v1 = rv.v) left join r as lj on (e.v2 = lj.v) "
+    "group by lj.v, e.w",
+    # LEFT JOIN feeding a LEFT JOIN, tail into GROUP BY on the final
+    # padded binding (padding over already-padded probe rows).
+    "select b.rep g, count(*) c, min(a.rep) m from e left join r as a "
+    "on (e.v1 = a.v) left join r as b on (a.rep = b.v) group by b.rep",
+    # Residual predicate filtering the padded stream before grouping.
+    "select lj.rep g, count(*) c from e join r as rv on (e.v1 = rv.v) "
+    "left join r as lj on (e.v2 = lj.v) where e.w > 3 group by lj.rep",
+]
+
+
+def _assert_outer_group_matches(query, fused_db, plain_db):
+    fused = fused_db.execute(query)
+    plain = plain_db.execute(query)
+    assert fused.names == plain.names
+    assert fused.relation.display_names == plain.relation.display_names
+    assert fused.rows() == plain.rows()  # bit-identical, including order
+    assert fused_db.stats.fused_group_pipelines > 0
+    assert fused_db.stats.fused_outer_groups > 0
+    assert plain_db.stats.fused_group_pipelines == 0
+
+
+@pytest.mark.parametrize("query", OUTER_GROUP_QUERIES)
+def test_outer_padded_group_keys_match_staged_pipeline(query):
+    _assert_outer_group_matches(query, _chain_db(True), _chain_db(False))
+
+
+@pytest.mark.parametrize("query", OUTER_GROUP_QUERIES)
+def test_outer_padded_group_keys_with_empty_build_side(query):
+    """An empty build side pads *every* probe row: the padded key column
+    is all-NULL and collapses to the single NULL-key group (or one group
+    per surviving left-side key combination on multi-key shapes)."""
+    fused_db = _chain_db(True, empty_build=True)
+    plain_db = _chain_db(False, empty_build=True)
+    _assert_outer_group_matches(query, fused_db, plain_db)
+
+
+def test_outer_padded_group_keys_with_null_probe_keys():
+    """NULL probe keys never match but survive null-extended: their padded
+    rows must land in the NULL-key group exactly as the staged pipeline
+    groups them."""
+    query = ("select lj.rep g, count(*) c, count(lj.v) k from en "
+             "left join r as lj on (en.v1 = lj.v) group by lj.rep")
+    fused_db = _chain_db(True, null_keys=True)
+    plain_db = _chain_db(False, null_keys=True)
+    _assert_outer_group_matches(query, fused_db, plain_db)
+
+
+def test_outer_padded_group_aggregates_see_padded_nulls():
+    """Aggregates over the padded binding's columns: count(col) skips the
+    padded NULLs, count(*) keeps them — per group, on both pipelines."""
+    def build(use_fusion):
+        db = Database(n_segments=4, use_fusion=use_fusion)
+        db.execute("create table e (v1 int64, v2 int64)")
+        db.execute("insert into e values (1, 10), (1, 99), (2, 11), "
+                   "(2, 99), (3, 98)")
+        db.execute("create table w (v int64, x int64)")
+        db.execute("insert into w values (10, 7), (11, 5)")
+        return db
+
+    q = ("select w.x g, count(*) c, count(w.v) k from e "
+         "left join w on (e.v2 = w.v) group by w.x")
+    fused, plain = build(True), build(False)
+    assert fused.execute(q).rows() == plain.execute(q).rows()
+    rows = dict((g, (c, k)) for g, c, k in fused.execute(q).rows())
+    assert rows[None] == (3, 0)  # the padded NULL-key group
+    assert fused.stats.fused_outer_groups > 0
 
 
 @pytest.mark.parametrize("query", TEXT_CHAIN_QUERIES)

@@ -68,6 +68,20 @@ def test_registration_is_idempotent(db):
     assert db.execute("select axplusb(1, 5, 0)").scalar() == 5
 
 
+def test_text_least_greatest_alongside_udfs(db):
+    """least/greatest are the algorithm's builtins; their TEXT overload
+    must coexist with the registered UDFs in one statement."""
+    db.execute("create table lbl (x int, name text)")
+    db.execute("insert into lbl values (1, 'beta'), (7, 'alpha'), "
+               "(12345, null)")
+    rows = db.execute(
+        "select axplusb(1, x, 0), least(name, 'delta'), "
+        "greatest(name, 'delta') from lbl"
+    ).rows()
+    assert rows == [(1, "beta", "delta"), (7, "alpha", "delta"),
+                    (12345, "delta", "delta")]
+
+
 def test_custom_udf_registration():
     db = Database()
 
