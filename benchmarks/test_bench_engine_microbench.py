@@ -686,6 +686,66 @@ def test_engine_microbench():
         "speedup": t_shuffled / t_presorted,
     }
 
+    # -- process backend: end-to-end RC, threads vs worker processes -------
+    # The tentpole measurement: the same contraction run with the kernels
+    # dispatched to worker processes over shared-memory columns.  On
+    # multi-core runners a 1e6-edge graph carries the >= 1.25x acceptance
+    # bar (threads serialise on the GIL everywhere numpy does not release
+    # it); single-core hosts run a smaller graph with a forced pool purely
+    # to prove engagement, and record the (necessarily ~1x) numbers
+    # informationally.  JSON keys are identical on both paths.
+    import repro.sqlengine.executor as executor_module
+
+    if n_workers >= 4:
+        proc_edges = gnm_random_graph(400_000, 1_000_000,
+                                      np.random.default_rng(41))
+        proc_workers, proc_min_rows = None, executor_module.PARALLEL_MIN_ROWS
+    else:
+        proc_edges = gnm_random_graph(30_000, 55_000,
+                                      np.random.default_rng(41))
+        proc_workers, proc_min_rows = 4, 1
+
+    def run_backend(backend: str):
+        original = executor_module.PARALLEL_MIN_ROWS
+        executor_module.PARALLEL_MIN_ROWS = proc_min_rows
+        try:
+            bdb = Database(n_segments=4, parallel=True, pool_backend=backend,
+                           pool_workers=proc_workers, use_index_cache=False)
+            load_edges_into(bdb, "edges_pp", proc_edges)
+            started = time.perf_counter()
+            result = RandomisedContraction().run(bdb, "edges_pp", seed=77)
+            elapsed = time.perf_counter() - started
+            vertices, labels = result.labels(bdb)
+            order = np.argsort(vertices, kind="stable")
+            stats = bdb.stats.snapshot()
+            shm_names = (bdb.pool.registry.created_names()
+                         if bdb.pool.supports_processes else set())
+            bdb.close()
+            return elapsed, vertices[order], labels[order], stats, shm_names
+        finally:
+            executor_module.PARALLEL_MIN_ROWS = original
+
+    t_thread_rc, v_th, l_th, stats_th, _ = run_backend("thread")
+    t_process_rc, v_pr, l_pr, stats_pr, shm_names = run_backend("process")
+    assert np.array_equal(v_th, v_pr) and np.array_equal(l_th, l_pr)
+    assert stats_pr.process_tasks > 0          # kernels really crossed
+    assert stats_pr.stats_merges > 0           # ... and merged their deltas
+    assert stats_th.process_tasks == 0
+    # close() must have unlinked every exported block.
+    assert not any(os.path.exists(f"/dev/shm/{name}") for name in shm_names)
+    report["process_pool"] = {
+        "edges": proc_edges.n_edges,
+        "thread_s": t_thread_rc,
+        "process_s": t_process_rc,
+        "speedup": t_thread_rc / t_process_rc,
+        "process_tasks": stats_pr.process_tasks,
+        "shm_bytes_exported": stats_pr.shm_bytes_exported,
+        "cpu_count": os.cpu_count(),
+        "workers": proc_workers or min(4, os.cpu_count() or 1),
+    }
+    if n_workers >= 4:
+        assert report["process_pool"]["speedup"] >= 1.25
+
     # -- end-to-end: Randomised Contraction with and without caches -------
     edges = gnm_random_graph(60_000, 110_000, np.random.default_rng(3))
 
@@ -745,6 +805,7 @@ def test_engine_microbench():
     rcache = report["result_cache"]
     par = report["parallel"]
     skip = report["group_sort_skip"]
+    proc = report["process_pool"]
     overlap = report["overlapped_composition"]
     fast_chain = report["fast_chain"]
     union_fan = report["union_fanout"]
@@ -818,6 +879,12 @@ def test_engine_microbench():
         f"  presorted GROUP BY 1e6   : {skip['shuffled_s'] * 1e3:.1f} ms"
         f" (shuffled) vs {skip['presorted_s'] * 1e3:.1f} ms (sort skipped,"
         f" {skip['speedup']:.2f}x)",
+        f"  process-backend RC       : {proc['edges']:,} edges,"
+        f" threads {proc['thread_s']:.3f}s -> processes"
+        f" {proc['process_s']:.3f}s ({proc['speedup']:.2f}x,"
+        f" {proc['process_tasks']} worker tasks,"
+        f" {proc['workers']} workers, {proc['cpu_count']} cpus,"
+        f" identical labels)",
         f"  end-to-end RC (60k/110k) : {t_off:.3f}s -> {t_on:.3f}s "
         f"({report['end_to_end_rc']['speedup']:.2f}x, identical labels)",
     ]

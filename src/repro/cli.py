@@ -177,7 +177,7 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     from .sqlengine.errors import SqlError
 
     edges = _load_graph(args.graph, args.scale)
-    db = Database()
+    db = Database(pool_backend=args.backend, pool_workers=args.workers)
     load_edges_into(db, "edges", edges)
     db.stats.reset()
     for statement in _split_statements(args.sql):
@@ -246,6 +246,9 @@ def render_engine_stats(stats) -> str:
         f"  (dataflow overlaps {stats.dataflow_overlaps}, "
         f"effect-set cache hits {stats.effects_cache_hits})",
         f"  union arm overlaps : {stats.union_arm_overlaps}",
+        f"  process backend    : {stats.process_tasks} tasks / "
+        f"{bytes_to_human(stats.shm_bytes_exported)} shm exported / "
+        f"{stats.stats_merges} stat merges",
     ]
     return "\n".join(lines)
 
@@ -314,6 +317,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the full EngineStats counter dump "
                           "(plan/physical-plan/index caches, fused pipelines, "
                           "motion) after execution")
+    sql.add_argument("--backend", default=None, choices=["thread", "process"],
+                     help="segment pool backend: threads (default) or worker "
+                          "processes over shared-memory columns "
+                          "(REPRO_POOL_BACKEND sets the default)")
+    sql.add_argument("--workers", type=int, default=None,
+                     help="force the pool's worker count (default: "
+                          "min(segments, cpu count))")
     sql.set_defaults(fn=_cmd_sql)
 
     gamma = sub.add_parser("gamma", help="measure the contraction factor")

@@ -177,9 +177,19 @@ class DataflowScheduler:
     ``submit()`` never blocks (in asynchronous mode): conflicting tasks are
     queued behind their hazards, independent ones start immediately, and
     the driver thread only stops at :meth:`wait`/:meth:`wait_all`.  At most
-    ``n_workers - 1`` tasks execute at once, so a task that internally
+    ``task_slots - 1`` tasks execute at once, so a task that internally
     fans its kernels out over the pool always finds a free worker — the
     pool can never deadlock on its own parents.
+
+    On a process-backed pool the statement groups themselves stay on the
+    thread side (they are closures over the Database), but every eligible
+    kernel inside them dispatches its partitions to worker *processes*
+    (see :mod:`repro.sqlengine.parallel`), so overlapping groups — round
+    *i*'s composition beside round *i+1*'s contraction — no longer share
+    one GIL for their kernel work.  The one-worker reservation is kept on
+    every backend: non-shareable payloads (text keys, exhausted shared
+    memory) still fall back to thread-side ``pool.map`` fan-out, which
+    must always find a free thread worker to drain its chunks.
     """
 
     def __init__(self, db: Database):
@@ -194,7 +204,7 @@ class DataflowScheduler:
         self._unfinished: set[StatementTask] = set()
         self._ready: deque[StatementTask] = deque()
         self._running = 0
-        self._max_running = max(1, pool.n_workers - 1) \
+        self._max_running = max(1, pool.task_slots - 1) \
             if self._pool is not None else 1
         self._last_writer: dict[str, StatementTask] = {}
         self._readers: dict[str, set[StatementTask]] = {}

@@ -9,6 +9,7 @@ write accounting of Tables IV and V.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Optional
 
@@ -18,7 +19,7 @@ from .ast_nodes import Select
 from .errors import CatalogError, ExecutionError
 from .executor import Executor, Relation
 from .functions import FunctionRegistry
-from .mpp import Cluster, SegmentPool
+from .mpp import Cluster, ProcessSegmentPool, SegmentPool
 from .parser import parse_script, parse_statement
 from .plancache import PlanCache
 from .stats import EngineStats
@@ -81,6 +82,17 @@ class Database:
         Optional cap on live table space.  Exceeding it raises
         :class:`~repro.sqlengine.errors.SpaceBudgetExceeded`, which the bench
         harness reports as "did not finish" (Table III).
+    pool_backend:
+        ``"thread"`` (default) or ``"process"``.  The process backend runs
+        the per-segment kernels in worker processes over shared-memory
+        column buffers — same kernels, bit-identical labels, no shared
+        GIL.  Defaults to the ``REPRO_POOL_BACKEND`` environment variable
+        when unset.  Space-budgeted databases always fall back to threads:
+        budget enforcement samples live bytes synchronously on every
+        allocation, a contract worker processes cannot honour.
+    pool_workers:
+        Force the pool's worker count (CLI ``--workers``; tests use it to
+        exercise multi-worker paths on small hosts).
     """
 
     def __init__(
@@ -94,21 +106,42 @@ class Database:
         use_fusion: bool = True,
         use_result_cache: bool = True,
         parallel: Optional[bool] = None,
+        pool_backend: Optional[str] = None,
+        pool_workers: Optional[int] = None,
     ):
         self.catalog = Catalog()
         self.registry = FunctionRegistry()
         self.cluster = Cluster(n_segments, broadcast_row_limit)
         self.stats = EngineStats(space_budget_bytes)
+        if pool_backend is None:
+            pool_backend = (
+                os.environ.get("REPRO_POOL_BACKEND", "").strip().lower()
+                or "thread"
+            )
+        if pool_backend not in ("thread", "process"):
+            raise ValueError(f"unknown pool backend {pool_backend!r}")
+        if pool_backend == "process" and space_budget_bytes is not None:
+            pool_backend = "thread"
         #: Segment-parallel kernel execution.  ``None`` auto-sizes the pool
         #: to min(n_segments, cpu_count) — single-core hosts keep the plain
         #: kernels; ``True`` forces one worker per segment (tests exercise
         #: the parallel code path deterministically); ``False`` disables it.
         if parallel is False:
             self.pool = None
-        elif parallel is True:
-            self.pool = SegmentPool(n_segments, max_workers=n_segments)
         else:
-            self.pool = SegmentPool(n_segments)
+            if pool_workers is None:
+                pool_workers = n_segments if parallel is True else None
+            pool_cls = (
+                ProcessSegmentPool if pool_backend == "process" else SegmentPool
+            )
+            self.pool = pool_cls(n_segments, max_workers=pool_workers)
+        #: Effective backend: "thread", "process", or None when disabled.
+        self.pool_backend = None if self.pool is None else pool_backend
+        if self.pool is not None and self.pool.supports_processes:
+            # Worker stat deltas and shm export accounting flow into the
+            # same EngineStats the thread backend updates in-process.
+            self.pool.on_stats_delta = self.stats.merge_worker_delta
+            self.pool.registry.on_export = self.stats.record_shm_export
         self._executor = Executor(self.catalog, self.registry, self.cluster,
                                   self.stats, use_index_cache=use_index_cache,
                                   pool=self.pool, use_fusion=use_fusion)
@@ -267,11 +300,15 @@ class Database:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the segment-parallel worker threads.
+        """Release the segment-parallel workers (threads and processes).
 
-        The database stays usable afterwards — the pool re-creates its
-        threads on the next parallel kernel — but long-lived processes
-        creating many Database instances should close each when done.
+        On the process backend this also terminates the worker processes
+        and unlinks every shared-memory block the database exported (live
+        column views stay readable; only the ``/dev/shm`` names go away).
+        Idempotent — a double close is a no-op — and the database stays
+        usable afterwards: the pool re-creates its workers and re-exports
+        on the next parallel kernel.  Long-lived processes creating many
+        Database instances should close each when done.
         """
         if self.pool is not None:
             self.pool.shutdown()

@@ -33,7 +33,11 @@ Kernels run **segment-parallel** when a
 large enough: joins and aggregations hash-partition their rows by the
 cluster's splitmix64 segment assignment and execute partitions on worker
 threads, with output bit-identical to the single-threaded kernels (see
-:mod:`repro.sqlengine.parallel`).
+:mod:`repro.sqlengine.parallel`).  The executor is backend-transparent: a
+:class:`~repro.sqlengine.mpp.ProcessSegmentPool` runs the very same
+kernels in worker processes over shared-memory column buffers — same
+partitioning, same recombination, same labels — with automatic thread
+fallback for payloads that cannot be shared.
 
 Join pipelines of two or more steps run **chain-fused** (see
 :class:`_JoinChain`): a join feeding another join's build side never

@@ -18,14 +18,22 @@ without changing any measured quantity.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from .errors import ExecutionError
+from .shm import ShmRegistry
 from .types import Column
 
 #: Thread-local marker for threads currently executing a pool-managed
@@ -100,6 +108,13 @@ class SegmentPool:
     databases never spawn threads.
     """
 
+    #: True on pools whose kernel tasks run in worker processes (see
+    #: :class:`ProcessSegmentPool`); the parallel kernels check this to
+    #: decide between descriptor dispatch and in-process closures.
+    supports_processes = False
+    #: Shared-memory registry; only process-backed pools own one.
+    registry: Optional[ShmRegistry] = None
+
     def __init__(self, n_segments: int, max_workers: Optional[int] = None):
         if n_segments < 1:
             raise ValueError("a segment pool needs at least one segment")
@@ -159,6 +174,133 @@ class SegmentPool:
         if self._pool is not None:
             self._pool.shutdown(wait=False)
             self._pool = None
+
+    @property
+    def task_slots(self) -> int:
+        """Concurrent pool-managed *tasks* (statement groups, UNION arms)
+        this pool can serve.  The dataflow scheduler caps its in-flight
+        statement groups at ``task_slots - 1`` so kernel fan-out always
+        finds a free worker; process-backed pools keep the same thread-side
+        surface (tasks are closures and stay in-process), so the cap is the
+        thread worker count on every backend."""
+        return self.n_workers
+
+
+def _process_task_entry(fn: Callable, payload: object) -> tuple[object, dict]:
+    """Worker-process entry: run one kernel task, return its result plus
+    the worker-side EngineStats delta the driver merges deterministically."""
+    return fn(payload), {"process_tasks": 1}
+
+
+class ProcessSegmentPool(SegmentPool):
+    """A SegmentPool whose per-segment kernels run in worker *processes*.
+
+    The thread-side surface (``map``/``submit``/``task_scope``) is
+    inherited unchanged — dataflow statement groups and UNION ALL arms are
+    closures over the Database and stay in-process — while the hash-
+    partitioned kernels in :mod:`repro.sqlengine.parallel` dispatch their
+    partitions here via :meth:`run_tasks`.  Tasks are shipped as
+    ``(shm descriptor, small args)`` payloads, never column data, so each
+    worker rehydrates zero-copy views and runs the identical kernel math
+    outside the driver's GIL.  Every task returns ``(result, stats delta)``
+    and the driver folds the deltas into :class:`EngineStats` in
+    submission order, keeping accounting deterministic.
+
+    A crashed or killed worker breaks the executor: every in-flight future
+    is poisoned, surfaced as one clear :class:`ExecutionError`, and the
+    executor is discarded so the next kernel transparently restarts the
+    workers.  ``shutdown()`` additionally unlinks every shared-memory
+    block through the pool's :class:`~repro.sqlengine.shm.ShmRegistry`.
+    """
+
+    supports_processes = True
+
+    def __init__(
+        self,
+        n_segments: int,
+        max_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ):
+        super().__init__(n_segments, max_workers)
+        self.registry = ShmRegistry()
+        #: Hook receiving merged worker stat deltas (wired by Database to
+        #: ``EngineStats.merge_worker_delta``).
+        self.on_stats_delta: Optional[Callable[[dict], None]] = None
+        if start_method is None:
+            start_method = os.environ.get("REPRO_POOL_START_METHOD") or None
+        if start_method is None:
+            # fork skips re-importing the engine in every worker; spawn is
+            # the fallback where fork is unavailable.
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._start_method = start_method
+        self._processes: Optional[ProcessPoolExecutor] = None
+        self._proc_lock = threading.Lock()
+
+    def _ensure_processes(self) -> ProcessPoolExecutor:
+        with self._proc_lock:
+            if self._processes is None:
+                self._processes = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    mp_context=multiprocessing.get_context(self._start_method),
+                )
+            return self._processes
+
+    def _discard_processes(self) -> None:
+        with self._proc_lock:
+            executor, self._processes = self._processes, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def run_tasks(self, fn: Callable, payloads: Sequence) -> list:
+        """Run ``fn(payload)`` per payload in worker processes, in order.
+
+        ``fn`` must be a module-level function and each payload picklable
+        (descriptors + small args).  Worker stat deltas are merged in
+        submission order and handed to :attr:`on_stats_delta` once per
+        call, so totals are independent of worker scheduling.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if self.n_workers <= 1:
+            return [fn(payload) for payload in payloads]
+        executor = self._ensure_processes()
+        try:
+            futures = [
+                executor.submit(_process_task_entry, fn, payload)
+                for payload in payloads
+            ]
+            outs = [future.result() for future in futures]
+        except BrokenExecutor as error:
+            self._discard_processes()
+            raise ExecutionError(
+                "segment worker process died mid-kernel; in-flight work was "
+                "poisoned and the process pool will restart on next use"
+            ) from error
+        results = []
+        merged: dict[str, int] = {}
+        for result, delta in outs:
+            for counter, by in delta.items():
+                merged[counter] = merged.get(counter, 0) + by
+            results.append(result)
+        if merged and self.on_stats_delta is not None:
+            self.on_stats_delta(merged)
+        return results
+
+    def shutdown(self) -> None:
+        """Terminate both executors and unlink every shared block.
+
+        Idempotent: a second call finds nothing to release.  The pool —
+        like its thread-backed base — stays usable afterwards; the next
+        kernel re-creates the workers and re-exports its inputs.
+        """
+        super().shutdown()
+        with self._proc_lock:
+            executor, self._processes = self._processes, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+        self.registry.release_all()
 
 
 @dataclass(frozen=True)

@@ -37,6 +37,17 @@ Both kernels are **bit-identical** to their single-threaded references —
 releases the GIL inside its kernels, so partitions genuinely overlap on
 multi-core hosts; the executor only dispatches here above
 ``PARALLEL_MIN_ROWS`` rows and when the pool has more than one worker.
+
+On a :class:`~repro.sqlengine.mpp.ProcessSegmentPool` the same kernels
+run in worker *processes*: the driver exports each input once into a
+shared-memory block (see :mod:`repro.sqlengine.shm`) and ships only
+``(descriptor, small args)`` payloads; the module-level ``_w_*`` worker
+entries rehydrate zero-copy views and execute math identical to the
+thread closures — partitions are recomputed worker-side from the same
+splitmix64 assignment, chunk outputs concatenate in the same order, and
+the driver's scatter recombination is shared by both paths, so labels
+stay bit-identical across backends.  Non-shareable payloads (text) and
+export failures fall back to the thread closures automatically.
 """
 
 from __future__ import annotations
@@ -46,7 +57,8 @@ from typing import Optional
 import numpy as np
 
 from .errors import ExecutionError
-from .mpp import SegmentPool, partition_rows
+from .mpp import SegmentPool, hash64, partition_rows
+from .shm import attach_array
 from .operators import (
     NO_MATCH,
     KeyIndex,
@@ -74,6 +86,25 @@ def _parallel_eligible(columns: list[Column]) -> bool:
         and columns[0].mask is None
         and columns[0].values.dtype.kind == "i"
     )
+
+
+def _use_processes(pool: SegmentPool) -> bool:
+    """True when this pool dispatches kernel partitions to processes."""
+    return (
+        getattr(pool, "supports_processes", False)
+        and pool.n_workers > 1
+        and pool.registry is not None
+    )
+
+
+def _partition_of(values: np.ndarray, part: int, n_parts: int) -> np.ndarray:
+    """Row indices of one segment partition — ``partition_rows(...)[part]``.
+
+    Recomputed worker-side from the deterministic splitmix64 assignment so
+    a process task receives descriptors only, never index arrays.
+    """
+    seg = (hash64(values) % np.uint64(n_parts)).astype(np.int64)
+    return np.flatnonzero(seg == part)
 
 
 # ---------------------------------------------------------------------------
@@ -104,19 +135,30 @@ def parallel_join_indices(
     if note is not None:
         note.append("parallel-hash")
     n_parts = pool.n_segments
-    left_parts = partition_rows(lk, n_parts)
-    right_parts = partition_rows(rk, n_parts)
+    results = None
+    if _use_processes(pool):
+        left_desc = pool.registry.export_column(left_keys[0])
+        right_desc = pool.registry.export_column(right_keys[0])
+        if left_desc is not None and right_desc is not None:
+            results = pool.run_tasks(
+                _w_join_partition,
+                [(left_desc, right_desc, part, n_parts)
+                 for part in range(n_parts)],
+            )
+    if results is None:
+        left_parts = partition_rows(lk, n_parts)
+        right_parts = partition_rows(rk, n_parts)
 
-    def join_partition(part: int) -> tuple[np.ndarray, np.ndarray]:
-        left_rows = left_parts[part]
-        right_rows = right_parts[part]
-        if left_rows.size == 0 or right_rows.size == 0:
-            return _empty_pair()
-        l_local, r_local = _hash_join_int(lk[left_rows], rk[right_rows],
-                                          None, None)
-        return left_rows[l_local], right_rows[r_local]
+        def join_partition(part: int) -> tuple[np.ndarray, np.ndarray]:
+            left_rows = left_parts[part]
+            right_rows = right_parts[part]
+            if left_rows.size == 0 or right_rows.size == 0:
+                return _empty_pair()
+            l_local, r_local = _hash_join_int(lk[left_rows], rk[right_rows],
+                                              None, None)
+            return left_rows[l_local], right_rows[r_local]
 
-    results = pool.map(join_partition, range(n_parts))
+        results = pool.map(join_partition, range(n_parts))
 
     # Reference output order: grouped by left row, ascending; within one
     # left row, right matches in stable key order.  Every left row lives in
@@ -205,15 +247,22 @@ def parallel_probe_indexed(
             # Dense build side: build the O(span) direct-address table once,
             # then probe it in parallel chunks (the probes are independent
             # per row, exactly like the sorted-index case below).
-            return _parallel_dense_probe(lk, rk, right_index, pool, note)
+            return _parallel_dense_probe(left_keys[0], rk, right_index,
+                                         pool, note)
     # Materialise the lazy index properties once, before worker threads
     # share them.
     sorted_values = right_index.sorted_values
     order = None if right_index.is_sorted else right_index.order
     chunks = _probe_chunks(n_left, pool.n_segments)
-    if right_index.is_unique:
-        if note is not None:
-            note.append("parallel-probe")
+    unique = right_index.is_unique
+    if note is not None:
+        note.append("parallel-probe" if unique else "parallel-merge-probe")
+    results = None
+    if _use_processes(pool):
+        results = _process_probe_chunks(
+            left_keys[0], sorted_values, order, unique, n_right, chunks, pool
+        )
+    if results is None and unique:
 
         def probe_unique(bounds: tuple[int, int]):
             start, stop = bounds
@@ -227,9 +276,7 @@ def parallel_probe_indexed(
             return l_local + start, r_local
 
         results = pool.map(probe_unique, chunks)
-    else:
-        if note is not None:
-            note.append("parallel-merge-probe")
+    elif results is None:
 
         def probe_runs(bounds: tuple[int, int]):
             start, stop = bounds
@@ -256,7 +303,7 @@ def parallel_probe_indexed(
 
 
 def _parallel_dense_probe(
-    lk: np.ndarray,
+    left_col: Column,
     rk: np.ndarray,
     right_index: KeyIndex,
     pool: SegmentPool,
@@ -270,8 +317,11 @@ def _parallel_dense_probe(
     back in probe order — the single-threaded kernel's exact output order.
     Before this kernel, a cached build-side index over a dense key range
     forced the whole join single-threaded; now only the O(n_right) build
-    stays serial.
+    stays serial.  On a process pool the slot/bucket tables are exported
+    alongside the probe column and each worker probes its chunk out of
+    process.
     """
+    lk = left_col.values
     n_right = int(rk.shape[0])
     rmin = right_index.min_value
     span = right_index.max_value - rmin + 1
@@ -288,17 +338,28 @@ def _parallel_dense_probe(
             note.append("parallel-dense")
         slots = np.full(span, NO_MATCH, dtype=np.int64)
         slots[rel_right] = np.arange(n_right, dtype=np.int64)
+        results = None
+        if _use_processes(pool):
+            lk_desc = pool.registry.export_column(left_col)
+            slots_desc = pool.registry.export_array(slots)
+            if lk_desc is not None and slots_desc is not None:
+                results = pool.run_tasks(
+                    _w_dense_unique_chunk,
+                    [(lk_desc, slots_desc, int(rmin), int(span), start, stop)
+                     for start, stop in chunks],
+                )
+        if results is None:
 
-        def probe_unique(bounds: tuple[int, int]):
-            start, stop = bounds
-            sub = lk[start:stop]
-            in_bounds = (sub >= rmin) & (sub <= rmin + (span - 1))
-            candidates = slots[np.where(in_bounds, sub - rmin, 0)]
-            match = in_bounds & (candidates != NO_MATCH)
-            l_local = np.flatnonzero(match)
-            return l_local + start, candidates[l_local]
+            def probe_unique(bounds: tuple[int, int]):
+                start, stop = bounds
+                sub = lk[start:stop]
+                in_bounds = (sub >= rmin) & (sub <= rmin + (span - 1))
+                candidates = slots[np.where(in_bounds, sub - rmin, 0)]
+                match = in_bounds & (candidates != NO_MATCH)
+                l_local = np.flatnonzero(match)
+                return l_local + start, candidates[l_local]
 
-        results = pool.map(probe_unique, chunks)
+            results = pool.map(probe_unique, chunks)
     else:
         if note is not None:
             note.append("parallel-dense-merge")
@@ -306,23 +367,37 @@ def _parallel_dense_probe(
         # right rows grouped by key code via the index's stable order.
         order = right_index.order
         starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        results = None
+        if _use_processes(pool):
+            lk_desc = pool.registry.export_column(left_col)
+            counts_desc = pool.registry.export_array(counts)
+            starts_desc = pool.registry.export_array(starts)
+            order_desc = pool.registry.export_array(order)
+            if None not in (lk_desc, counts_desc, starts_desc, order_desc):
+                results = pool.run_tasks(
+                    _w_dense_runs_chunk,
+                    [(lk_desc, counts_desc, starts_desc, order_desc,
+                      int(rmin), int(span), start, stop)
+                     for start, stop in chunks],
+                )
+        if results is None:
 
-        def probe_runs(bounds: tuple[int, int]):
-            start, stop = bounds
-            sub = lk[start:stop]
-            in_bounds = (sub >= rmin) & (sub <= rmin + (span - 1))
-            l_rel = np.where(in_bounds, sub - rmin, 0)
-            cnt = np.where(in_bounds, counts[l_rel], 0)
-            total = int(cnt.sum())
-            if total == 0:
-                return _empty_pair()
-            l_local = np.repeat(np.arange(sub.shape[0]), cnt)
-            run_starts = np.repeat(starts[l_rel], cnt)
-            offsets = np.concatenate(([0], np.cumsum(cnt)[:-1]))
-            within = np.arange(total) - np.repeat(offsets, cnt)
-            return l_local + start, order[run_starts + within]
+            def probe_runs(bounds: tuple[int, int]):
+                start, stop = bounds
+                sub = lk[start:stop]
+                in_bounds = (sub >= rmin) & (sub <= rmin + (span - 1))
+                l_rel = np.where(in_bounds, sub - rmin, 0)
+                cnt = np.where(in_bounds, counts[l_rel], 0)
+                total = int(cnt.sum())
+                if total == 0:
+                    return _empty_pair()
+                l_local = np.repeat(np.arange(sub.shape[0]), cnt)
+                run_starts = np.repeat(starts[l_rel], cnt)
+                offsets = np.concatenate(([0], np.cumsum(cnt)[:-1]))
+                within = np.arange(total) - np.repeat(offsets, cnt)
+                return l_local + start, order[run_starts + within]
 
-        results = pool.map(probe_runs, chunks)
+            results = pool.map(probe_runs, chunks)
     return (
         np.concatenate([left for left, _ in results]),
         np.concatenate([right for _, right in results]),
@@ -354,6 +429,155 @@ def _runs(sorted_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     run_first = np.flatnonzero(change)
     run_lengths = np.diff(np.append(run_first, sorted_ids.shape[0]))
     return run_first, run_lengths
+
+
+# ---------------------------------------------------------------------------
+# process-pool worker entries
+#
+# Module-level so they pickle by reference; each rehydrates its inputs from
+# shared-memory descriptors and runs math identical to the thread closure
+# it mirrors — the bit-identity contract lives in that line-for-line
+# correspondence.
+# ---------------------------------------------------------------------------
+
+
+def _w_join_partition(payload) -> tuple[np.ndarray, np.ndarray]:
+    """One hash partition of an inner join, executed in a worker process."""
+    left_desc, right_desc, part, n_parts = payload
+    lk = attach_array(left_desc)
+    rk = attach_array(right_desc)
+    left_rows = _partition_of(lk, part, n_parts)
+    right_rows = _partition_of(rk, part, n_parts)
+    if left_rows.size == 0 or right_rows.size == 0:
+        return _empty_pair()
+    l_local, r_local = _hash_join_int(lk[left_rows], rk[right_rows],
+                                      None, None)
+    return left_rows[l_local], right_rows[r_local]
+
+
+def _w_probe_chunk(payload) -> tuple[np.ndarray, np.ndarray]:
+    """One contiguous probe chunk against a shared sorted index."""
+    lk_desc, sorted_desc, order_desc, start, stop, unique, n_right = payload
+    lk = attach_array(lk_desc)
+    sorted_values = attach_array(sorted_desc)
+    order = None if order_desc is None else attach_array(order_desc)
+    sub = lk[start:stop]
+    if unique:
+        pos = np.searchsorted(sorted_values, sub)
+        np.minimum(pos, n_right - 1, out=pos)
+        match = sorted_values[pos] == sub
+        l_local = np.flatnonzero(match)
+        hits = pos[l_local]
+        r_local = hits if order is None else order[hits]
+        return l_local + start, r_local
+    lo = np.searchsorted(sorted_values, sub, side="left")
+    hi = np.searchsorted(sorted_values, sub, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return _empty_pair()
+    l_local = np.repeat(np.arange(sub.shape[0]), counts)
+    run_starts = np.repeat(lo, counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    within = np.arange(total) - np.repeat(offsets, counts)
+    r_sorted_pos = run_starts + within
+    r_local = r_sorted_pos if order is None else order[r_sorted_pos]
+    return l_local + start, r_local
+
+
+def _w_dense_unique_chunk(payload) -> tuple[np.ndarray, np.ndarray]:
+    """One probe chunk against a shared unique direct-address table."""
+    lk_desc, slots_desc, rmin, span, start, stop = payload
+    lk = attach_array(lk_desc)
+    slots = attach_array(slots_desc)
+    sub = lk[start:stop]
+    in_bounds = (sub >= rmin) & (sub <= rmin + (span - 1))
+    candidates = slots[np.where(in_bounds, sub - rmin, 0)]
+    match = in_bounds & (candidates != NO_MATCH)
+    l_local = np.flatnonzero(match)
+    return l_local + start, candidates[l_local]
+
+
+def _w_dense_runs_chunk(payload) -> tuple[np.ndarray, np.ndarray]:
+    """One probe chunk against shared duplicate-key dense buckets."""
+    (lk_desc, counts_desc, starts_desc, order_desc,
+     rmin, span, start, stop) = payload
+    lk = attach_array(lk_desc)
+    counts = attach_array(counts_desc)
+    starts = attach_array(starts_desc)
+    order = attach_array(order_desc)
+    sub = lk[start:stop]
+    in_bounds = (sub >= rmin) & (sub <= rmin + (span - 1))
+    l_rel = np.where(in_bounds, sub - rmin, 0)
+    cnt = np.where(in_bounds, counts[l_rel], 0)
+    total = int(cnt.sum())
+    if total == 0:
+        return _empty_pair()
+    l_local = np.repeat(np.arange(sub.shape[0]), cnt)
+    run_starts = np.repeat(starts[l_rel], cnt)
+    offsets = np.concatenate(([0], np.cumsum(cnt)[:-1]))
+    within = np.arange(total) - np.repeat(offsets, cnt)
+    return l_local + start, order[run_starts + within]
+
+
+def _w_agg_partition(payload):
+    """One hash partition of partial-then-final aggregation."""
+    keys_desc, spec_payloads, part, n_parts = payload
+    keys = attach_array(keys_desc)
+    rows = _partition_of(keys, part, n_parts)
+    if rows.size == 0:
+        return None
+    specs = [
+        AggregateSpec(
+            kind,
+            None if values_desc is None else attach_array(values_desc),
+            None if mask_desc is None else attach_array(mask_desc),
+            sql_type,
+        )
+        for kind, values_desc, mask_desc, sql_type in spec_payloads
+    ]
+    local_keys = keys[rows]
+    order = np.argsort(local_keys, kind="stable")
+    sorted_keys = local_keys[order]
+    starts = _boundaries(sorted_keys)
+    row_counts = np.diff(np.append(starts, order.shape[0]))
+    results = [
+        _reduce_slice(spec, rows, order, starts, row_counts) for spec in specs
+    ]
+    return sorted_keys[starts], results
+
+
+def _process_probe_chunks(
+    left_col: Column,
+    sorted_values: np.ndarray,
+    order: Optional[np.ndarray],
+    unique: bool,
+    n_right: int,
+    chunks: list[tuple[int, int]],
+    pool: SegmentPool,
+) -> Optional[list]:
+    """Dispatch sorted-index probe chunks to worker processes.
+
+    Returns ``None`` when an input cannot be exported (the caller keeps
+    the thread closures).  The probe column is adopted onto shared
+    memory; the index arrays are cached by identity, so a warm loop
+    re-probing the same stored index exports nothing new.
+    """
+    registry = pool.registry
+    lk_desc = registry.export_column(left_col)
+    sorted_desc = registry.export_array(sorted_values)
+    if lk_desc is None or sorted_desc is None:
+        return None
+    order_desc = None
+    if order is not None:
+        order_desc = registry.export_array(order)
+        if order_desc is None:
+            return None
+    return pool.run_tasks(
+        _w_probe_chunk,
+        [(lk_desc, sorted_desc, order_desc, start, stop, unique, n_right)
+         for start, stop in chunks],
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -459,6 +683,41 @@ def group_aggregate(
     return unique_keys, results
 
 
+def _process_group_aggregate(
+    keys: np.ndarray,
+    specs: list[AggregateSpec],
+    pool: SegmentPool,
+    n_parts: int,
+) -> Optional[list]:
+    """Dispatch aggregation partitions to worker processes.
+
+    Ships the key column plus each aggregate argument (and its null mask)
+    as descriptors; partial results — one small per-key block per
+    partition — come back pickled.  Returns ``None`` when any input is
+    non-shareable, keeping the thread path as fallback.
+    """
+    registry = pool.registry
+    keys_desc = registry.export_array(keys)
+    if keys_desc is None:
+        return None
+    spec_payloads = []
+    for spec in specs:
+        values_desc = mask_desc = None
+        if spec.values is not None:
+            values_desc = registry.export_array(spec.values)
+            if values_desc is None:
+                return None
+        if spec.mask is not None:
+            mask_desc = registry.export_array(spec.mask)
+            if mask_desc is None:
+                return None
+        spec_payloads.append((spec.kind, values_desc, mask_desc, spec.sql_type))
+    return pool.run_tasks(
+        _w_agg_partition,
+        [(keys_desc, spec_payloads, part, n_parts) for part in range(n_parts)],
+    )
+
+
 def parallel_group_aggregate(
     keys: np.ndarray,
     specs: list[AggregateSpec],
@@ -475,25 +734,29 @@ def parallel_group_aggregate(
     if keys.shape[0] == 0:
         return group_aggregate(keys, specs)
     n_parts = pool.n_segments
-    parts = partition_rows(keys, n_parts)
+    raw = None
+    if _use_processes(pool):
+        raw = _process_group_aggregate(keys, specs, pool, n_parts)
+    if raw is None:
+        parts = partition_rows(keys, n_parts)
 
-    def aggregate_partition(part: int):
-        rows = parts[part]
-        if rows.size == 0:
-            return None
-        local_keys = keys[rows]
-        order = np.argsort(local_keys, kind="stable")
-        sorted_keys = local_keys[order]
-        starts = _boundaries(sorted_keys)
-        row_counts = np.diff(np.append(starts, order.shape[0]))
-        results = [
-            _reduce_slice(spec, rows, order, starts, row_counts)
-            for spec in specs
-        ]
-        return sorted_keys[starts], results
+        def aggregate_partition(part: int):
+            rows = parts[part]
+            if rows.size == 0:
+                return None
+            local_keys = keys[rows]
+            order = np.argsort(local_keys, kind="stable")
+            sorted_keys = local_keys[order]
+            starts = _boundaries(sorted_keys)
+            row_counts = np.diff(np.append(starts, order.shape[0]))
+            results = [
+                _reduce_slice(spec, rows, order, starts, row_counts)
+                for spec in specs
+            ]
+            return sorted_keys[starts], results
 
-    partials = [p for p in pool.map(aggregate_partition, range(n_parts))
-                if p is not None]
+        raw = pool.map(aggregate_partition, range(n_parts))
+    partials = [p for p in raw if p is not None]
     all_keys = np.concatenate([p[0] for p in partials])
     merge = np.argsort(all_keys, kind="stable")
     unique_keys = all_keys[merge]

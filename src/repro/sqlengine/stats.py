@@ -71,6 +71,9 @@ class StatsSnapshot:
     fused_outer_groups: int = 0
     union_arm_overlaps: int = 0
     effects_cache_hits: int = 0
+    process_tasks: int = 0
+    shm_bytes_exported: int = 0
+    stats_merges: int = 0
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated since ``earlier`` (peak is the later peak)."""
@@ -124,6 +127,10 @@ class StatsSnapshot:
             - earlier.union_arm_overlaps,
             effects_cache_hits=self.effects_cache_hits
             - earlier.effects_cache_hits,
+            process_tasks=self.process_tasks - earlier.process_tasks,
+            shm_bytes_exported=self.shm_bytes_exported
+            - earlier.shm_bytes_exported,
+            stats_merges=self.stats_merges - earlier.stats_merges,
         )
 
 
@@ -174,6 +181,10 @@ class EngineStats:
         self.fused_outer_groups = 0
         self.union_arm_overlaps = 0
         self.effects_cache_hits = 0
+        # Process-backend counters (see mpp.ProcessSegmentPool / shm.py).
+        self.process_tasks = 0
+        self.shm_bytes_exported = 0
+        self.stats_merges = 0
         self.log: list[QueryRecord] = []
         self._lock = threading.Lock()
         # Per-statement scratch counters, folded into a QueryRecord by the
@@ -362,6 +373,30 @@ class EngineStats:
         sets from a cached plan template instead of a fresh parse."""
         self._bump("effects_cache_hits")
 
+    def record_shm_export(self, n_bytes: int) -> None:
+        """A kernel input was copied into a new shared-memory block for
+        the process backend (repeat uses of the same column or index array
+        attach the existing block and are not counted)."""
+        self._bump("shm_bytes_exported", n_bytes)
+
+    def merge_worker_delta(self, delta: dict) -> None:
+        """Fold a worker process's counter deltas into the totals.
+
+        Worker kernels cannot touch the driver's counters directly, so
+        each process task returns a small ``{counter: increment}`` dict;
+        the pool sums them in submission order and hands one merged dict
+        here per kernel dispatch — deterministic regardless of worker
+        scheduling.  Unknown counter names are a protocol error."""
+        with self._lock:
+            for counter, by in delta.items():
+                current = getattr(self, counter, None)
+                if not isinstance(current, int):
+                    raise ValueError(
+                        f"worker delta names unknown counter {counter!r}"
+                    )
+                setattr(self, counter, current + int(by))
+            self.stats_merges += 1
+
     # -- statement bracketing -------------------------------------------------
 
     def scratch_totals(self) -> tuple[int, int, int]:
@@ -443,6 +478,9 @@ class EngineStats:
             fused_outer_groups=self.fused_outer_groups,
             union_arm_overlaps=self.union_arm_overlaps,
             effects_cache_hits=self.effects_cache_hits,
+            process_tasks=self.process_tasks,
+            shm_bytes_exported=self.shm_bytes_exported,
+            stats_merges=self.stats_merges,
         )
 
     def reset_peak(self) -> None:

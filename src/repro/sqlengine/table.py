@@ -9,6 +9,14 @@ version, which invalidates every cached index — a stale index can therefore
 never be observed.  The paper's algorithms join the per-round ``reps``
 table two to three times per contraction round, which is exactly the reuse
 pattern this cache targets.
+
+Under the process pool backend a stored column's storage may be
+**shm-adopted**: the first parallel kernel touching it swaps
+``Column.values`` for a bit-identical view over a shared-memory block (see
+:mod:`repro.sqlengine.shm`), so later statements ship workers a descriptor
+instead of copying.  Adoption is invisible here — tables hold Column
+objects either way, and block lifecycle (unlink on ``Database.close()`` or
+when the view dies) is owned entirely by the pool's registry.
 """
 
 from __future__ import annotations

@@ -131,6 +131,28 @@ class Column:
         mask = self.mask[keep] if self.mask is not None else None
         return Column(values, self.sql_type, mask)
 
+    def process_shareable(self) -> bool:
+        """True when the values can back a shared-memory export.
+
+        Fixed-width numpy storage qualifies; text columns are Python
+        object arrays and stay on the thread kernels (null masks are
+        plain bool arrays and ship separately where a kernel needs one).
+        """
+        return self.values.dtype != object
+
+    def adopt_storage(self, values: np.ndarray) -> None:
+        """Swap the backing array for a bit-identical view.
+
+        Used by :class:`~repro.sqlengine.shm.ShmRegistry` to re-home a
+        column onto a shared-memory block on first parallel use: single-
+        process consumers are unchanged (same dtype, shape and contents;
+        columns are never written in place), while worker processes can
+        now map the same pages by descriptor.
+        """
+        if values.dtype != self.values.dtype or values.shape != self.values.shape:
+            raise ExecutionError("adopted storage must match dtype and shape")
+        self.values = values
+
     def null_mask(self) -> np.ndarray:
         """Return a boolean mask of NULL positions (materialised)."""
         if self.mask is None:

@@ -16,7 +16,7 @@ rows must form NULL-key groups — negative constants, NULL-bearing
 columns, IS NULL predicates, UNION ALL arms (fanned out on the parallel
 configuration's pool), and subquery FROM items — plain, aggregated, and
 UNION ALL subqueries joined like tables) over small random tables, and
-runs each statement on four configurations:
+runs each statement on five configurations:
 
 * **reference** — every cache, fusion and parallel feature off, with the
   executor's kernels swapped for the retained sort-merge references
@@ -29,8 +29,11 @@ runs each statement on four configurations:
 * **parallel** — fusion plus a forced multi-worker pool with
   ``PARALLEL_MIN_ROWS`` dropped to 1, so the segment-parallel kernels
   engage even on fuzz-sized inputs.
+* **process** — the same forced pool on the process backend: kernels run
+  in worker processes over shared-memory columns, exercising descriptor
+  export, worker rehydration and stats-delta merging on every statement.
 
-All four must produce bit-identical relations: storage names, display
+All five must produce bit-identical relations: storage names, display
 names, column order, SQL types, null masks, non-null values, row order.
 
 Runs in tier-1 under a fixed seed.  Env knobs for CI:
@@ -119,6 +122,10 @@ def planned_db() -> Database:
 
 def parallel_db() -> Database:
     return Database(n_segments=4, parallel=True)
+
+
+def process_db() -> Database:
+    return Database(n_segments=4, parallel=True, pool_backend="process")
 
 
 # ---------------------------------------------------------------------------
@@ -346,13 +353,14 @@ def test_differential_fuzz(monkeypatch):
     executed = 0
     engaged = {"chain": 0, "fused": 0, "fused_group": 0, "parallel": 0,
                "result_cache": 0, "left_chain": 0, "fused_outer": 0,
-               "union_overlap": 0}
+               "union_overlap": 0, "process_tasks": 0}
     shapes = {"union_all": 0, "subquery_from": 0, "outer_group": 0}
     while executed < FUZZ_ROUNDS:
         databases = {
             "reference": reference_db(),
             "planned": planned_db(),
             "parallel": parallel_db(),
+            "process": process_db(),
         }
         for statement in table_statements(rand):
             for db in databases.values():
@@ -371,7 +379,7 @@ def test_differential_fuzz(monkeypatch):
             if "left outer join" in sql and " group by " in sql:
                 shapes["outer_group"] += 1
             reference = databases["reference"].execute(sql).relation
-            for config in ("planned", "parallel"):
+            for config in ("planned", "parallel", "process"):
                 got = databases[config].execute(sql).relation
                 assert_identical(sql, config, got, reference)
                 # Warm pass: cached template, physical plan, result cache.
@@ -388,8 +396,13 @@ def test_differential_fuzz(monkeypatch):
         engaged["parallel"] += databases["parallel"].stats.parallel_partitions
         engaged["union_overlap"] += \
             databases["parallel"].stats.union_arm_overlaps
+        engaged["process_tasks"] += databases["process"].stats.process_tasks
+        shm_names = databases["process"].pool.registry.created_names()
         for db in databases.values():
             db.close()
+        # close() must have unlinked every block this batch exported.
+        for name in shm_names:
+            assert not os.path.exists(f"/dev/shm/{name}"), name
     assert executed == FUZZ_ROUNDS
     # The fuzz run must actually exercise the paths it claims to pin.
     assert engaged["chain"] > 0
@@ -400,6 +413,7 @@ def test_differential_fuzz(monkeypatch):
     assert engaged["result_cache"] > 0
     assert engaged["parallel"] > 0
     assert engaged["union_overlap"] > 0
+    assert engaged["process_tasks"] > 0
     # ... and actually generate the statement shapes it claims to cover.
     assert shapes["union_all"] > 0
     assert shapes["subquery_from"] > 0

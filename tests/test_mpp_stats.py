@@ -228,6 +228,78 @@ def test_close_with_parallel_disabled_is_safe():
     assert db.execute("select count(*) from t").scalar() == 1
 
 
+def test_process_backend_stats_deltas_match_thread_backend():
+    """Satellite contract: per-statement counter deltas on the process
+    backend equal the thread backend **exactly** — worker-side accounting
+    merges back into the same EngineStats the thread kernels update —
+    apart from the three process-only counters.  Exercised over a warm
+    RC-style round loop (repeated join / group-by / scalar-count
+    templates), so merged deltas land on cold and warm paths alike."""
+    import dataclasses
+
+    import repro.sqlengine.executor as executor_module
+
+    process_only = {"process_tasks", "shm_bytes_exported", "stats_merges"}
+    rng = np.random.default_rng(31)
+    n = 3000
+    v1 = rng.integers(0, 120, n)
+    v2 = rng.integers(0, 120, n)
+    rep = rng.integers(0, 120, 120)
+
+    def build(backend):
+        db = Database(n_segments=4, parallel=True, pool_backend=backend,
+                      use_index_cache=False)
+        db.load_table("e", {"v1": v1, "v2": v2})
+        db.load_table("r", {"v": np.arange(120, dtype=np.int64),
+                            "rep": rep})
+        return db
+
+    statements = []
+    for round_no in range(3):  # warm loop: same templates, three rounds
+        statements += [
+            "select e.v1, r.rep from e, r where e.v1 = r.v",
+            "select e.v1, count(*) c, min(e.v2) lo, sum(e.v2) s "
+            "from e group by e.v1",
+            "select count(*) from e",
+            f"create table t{round_no} as "
+            "select e.v2, r.rep from e, r where e.v2 = r.v",
+            f"drop table t{round_no}",
+        ]
+    thread_db, process_db = build("thread"), build("process")
+    original = executor_module.PARALLEL_MIN_ROWS
+    executor_module.PARALLEL_MIN_ROWS = 1
+    try:
+        for sql in statements:
+            before_t = thread_db.stats.snapshot()
+            before_p = process_db.stats.snapshot()
+            thread_db.execute(sql)
+            process_db.execute(sql)
+            delta_t = thread_db.stats.snapshot().delta(before_t)
+            delta_p = process_db.stats.snapshot().delta(before_p)
+            for field in dataclasses.fields(delta_t):
+                if field.name in process_only:
+                    continue
+                assert getattr(delta_p, field.name) == \
+                    getattr(delta_t, field.name), (sql, field.name)
+    finally:
+        executor_module.PARALLEL_MIN_ROWS = original
+    assert process_db.stats.process_tasks > 0
+    assert process_db.stats.stats_merges > 0
+    assert process_db.stats.shm_bytes_exported > 0
+    assert thread_db.stats.process_tasks == 0
+    thread_db.close()
+    process_db.close()
+
+
+def test_merge_worker_delta_rejects_unknown_counters():
+    db = Database(parallel=False)
+    db.stats.merge_worker_delta({"process_tasks": 3})
+    assert db.stats.process_tasks == 3
+    assert db.stats.stats_merges == 1
+    with pytest.raises(ValueError, match="unknown counter"):
+        db.stats.merge_worker_delta({"not_a_counter": 1})
+
+
 def test_rows_written_counts_inserts():
     db = Database()
     db.execute("create table t (a int)")
